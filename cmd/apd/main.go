@@ -1,0 +1,69 @@
+// Command apd runs multi-level aliased prefix detection against the
+// simulated Internet and prints detected aliased prefixes with their
+// verification against ground truth.
+//
+// Usage:
+//
+//	apd [-scale 0.3] [-days 4] [-window 3] [-murdock]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"expanse/internal/apd"
+	"expanse/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.3, "simulation scale")
+	days := flag.Int("days", 4, "APD probing days")
+	window := flag.Int("window", 3, "sliding window (days)")
+	murdock := flag.Bool("murdock", false, "also run the Murdock et al. /96 baseline")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Sim.Scale = *scale
+	cfg.APDWindow = *window
+	p := core.New(cfg)
+	fmt.Println("collecting hitlist sources…")
+	p.Collect()
+	fmt.Printf("hitlist: %d addresses\n", p.Hitlist().Len())
+
+	day := p.World.Horizon()
+	for d := 0; d < *days; d++ {
+		p.RunAPD(day + d)
+		fmt.Printf("APD day %d: %d candidates probed\n", d, len(p.Candidates()))
+	}
+
+	aliased := p.Filter().AliasedPrefixes()
+	fmt.Printf("\naliased prefixes detected: %d (probes sent: %d)\n", len(aliased), p.APDProbesSent())
+	tp := 0
+	byLen := map[int]int{}
+	for _, pre := range aliased {
+		byLen[pre.Bits()]++
+		if p.World.GroundTruthAliased(pre.Addr()) {
+			tp++
+		}
+	}
+	fmt.Printf("ground-truth confirmed: %d/%d\n", tp, len(aliased))
+	fmt.Print("by prefix length:")
+	for l := 0; l <= 128; l++ {
+		if byLen[l] > 0 {
+			fmt.Printf(" /%d=%d", l, byLen[l])
+		}
+	}
+	fmt.Println()
+
+	clean, al := p.Filter().Split(p.Hitlist().Sorted())
+	fmt.Printf("hitlist split: %d clean, %d aliased (%.1f%%)\n",
+		len(clean), len(al), 100*float64(len(al))/float64(p.Hitlist().Len()))
+
+	if *murdock {
+		md := apd.NewMurdockDetector(p.World)
+		cands := md.Candidates(p.Hitlist().Sorted())
+		verdicts := md.Detect(cands, day)
+		fmt.Printf("\nMurdock /96 baseline: %d candidates, %d aliased, %d probes\n",
+			len(cands), len(verdicts), md.ProbesSent)
+	}
+}

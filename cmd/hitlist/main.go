@@ -1,0 +1,96 @@
+// Command hitlist runs the full IPv6 hitlist pipeline against the
+// simulated Internet and prints any (or all) of the paper's reproduced
+// tables and figures.
+//
+// Usage:
+//
+//	hitlist [-scale 1.0] [-seed 93208] [-report all] [-svgdir DIR]
+//
+// Report identifiers match the paper: table1 table2 fig1a fig1b fig1c
+// fig2a fig2b fig3a fig3b table3 table4 sec53 fig4 fig5 table5 table6
+// sec55 fig6 fig7 fig8 sec72 sec73 table7 fig9 sec8 table8 fig10 table9
+// sec93 ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"expanse/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "simulation scale (1.0 ≈ 1:100 of the paper)")
+	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	report := flag.String("report", "all", "comma-separated report ids, or 'all'")
+	svgdir := flag.String("svgdir", "", "directory to write zesplot SVGs (optional)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Sim.Scale = *scale
+	if *seed != 0 {
+		cfg.Sim.Seed = *seed
+	}
+	lab := core.NewLab(cfg)
+
+	reports := map[string]func() *core.Report{
+		"table1": lab.Table1, "table2": lab.Table2,
+		"fig1a": lab.Fig1a, "fig1b": lab.Fig1b, "fig1c": lab.Fig1c,
+		"fig2a": lab.Fig2a, "fig2b": lab.Fig2b, "fig3a": lab.Fig3a, "fig3b": lab.Fig3b,
+		"table3": lab.Table3, "table4": lab.Table4, "sec53": lab.Sec53,
+		"fig4": lab.Fig4, "fig5": lab.Fig5, "table5": lab.Table5,
+		"table6": lab.Table6, "sec55": lab.Sec55,
+		"fig6": lab.Fig6, "fig7": lab.Fig7, "fig8": lab.Fig8,
+		"sec72": lab.Sec72, "sec73": lab.Sec73, "table7": lab.Table7, "fig9": lab.Fig9,
+		"sec8": lab.Sec8, "table8": lab.Table8, "fig10": lab.Fig10,
+		"table9": lab.Table9, "sec93": lab.Sec93, "ablation": lab.AblationGenerators,
+	}
+	order := []string{
+		"table1", "table2", "fig1a", "fig1b", "fig1c",
+		"fig2a", "fig2b", "fig3a", "fig3b",
+		"table3", "table4", "sec53", "fig4", "fig5", "table5", "table6", "sec55",
+		"fig6", "fig7", "fig8",
+		"sec72", "sec73", "table7", "fig9",
+		"sec8", "table8", "fig10", "table9", "sec93", "ablation",
+	}
+
+	var selected []string
+	if *report == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*report, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := reports[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown report %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+	for _, id := range selected {
+		fmt.Println(reports[id]().String())
+	}
+
+	if *svgdir != "" {
+		if err := os.MkdirAll(*svgdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		write := func(name, svg string) {
+			path := filepath.Join(*svgdir, name)
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+		write("fig1c.svg", lab.Fig1cSVG())
+		a, b := lab.Fig5SVGs()
+		write("fig5a.svg", a)
+		write("fig5b.svg", b)
+		write("fig6.svg", lab.Fig6SVG())
+	}
+}

@@ -1,0 +1,12 @@
+// Package expanse is a from-scratch Go reproduction of "Clusters in the
+// Expanse: Understanding and Unbiasing IPv6 Hitlists" (Gasser et al.,
+// IMC 2018): the complete hitlist pipeline — source collection, entropy
+// clustering, multi-level aliased prefix detection, fingerprint
+// validation, responsiveness probing, target generation with Entropy/IP
+// and 6Gen, rDNS walking, and a crowdsourcing client study — running
+// against a deterministic simulated IPv6 Internet.
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for measured-vs-paper results.
+package expanse

@@ -1,0 +1,81 @@
+package apd
+
+import (
+	"testing"
+
+	"expanse/internal/ip6"
+)
+
+// TestAblationFanOutVsRandom quantifies the §5.1 design argument: with 9
+// of 16 subprefixes aliased, purely random 3-probe detection (the
+// Murdock scheme) misclassifies the prefix as aliased (9/16)³ ≈ 18% of
+// the time; 16 random probes still occasionally miss all dark branches;
+// nybble-enforced fan-out never does.
+func TestAblationFanOutVsRandom(t *testing.T) {
+	p := ip6.MustParsePrefix("2001:db8:42::/96")
+	resp := PartialAliasResponder{Responding: 9, Level: 24} // nybble after /96
+	const trials = 4000
+
+	fanout := MisclassificationRate(p, resp, trials, func(int) []ip6.Addr {
+		fo := FanOut(p)
+		return fo[:]
+	})
+	random16 := MisclassificationRate(p, resp, trials, func(tr int) []ip6.Addr {
+		return RandomTargets(p, 16, int64(tr))
+	})
+	random3 := MisclassificationRate(p, resp, trials, func(tr int) []ip6.Addr {
+		return RandomTargets(p, 3, int64(tr))
+	})
+
+	if fanout != 0 {
+		t.Errorf("fan-out misclassified %.4f of trials, want 0", fanout)
+	}
+	// (9/16)^3 = 0.178; allow sampling slack.
+	if random3 < 0.12 || random3 > 0.24 {
+		t.Errorf("random-3 misclassification = %.4f, want ≈ 0.178", random3)
+	}
+	// (9/16)^16 ≈ 1e-4 — strictly better than random-3, worse than fan-out.
+	if random16 >= random3 {
+		t.Errorf("random-16 (%.4f) should beat random-3 (%.4f)", random16, random3)
+	}
+	t.Logf("misclassification: fanout=%.4f random16=%.5f random3=%.4f", fanout, random16, random3)
+}
+
+func TestRandomTargetsInsidePrefix(t *testing.T) {
+	p := ip6.MustParsePrefix("2001:db8::/64")
+	for _, a := range RandomTargets(p, 50, 1) {
+		if !p.Contains(a) {
+			t.Fatalf("target %v escaped prefix", a)
+		}
+	}
+	// Deterministic per salt.
+	a := RandomTargets(p, 5, 7)
+	b := RandomTargets(p, 5, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomTargets not deterministic")
+		}
+	}
+}
+
+func TestPartialAliasResponder(t *testing.T) {
+	r := PartialAliasResponder{Responding: 9, Level: 24}
+	low := ip6.MustParseAddr("2001:db8:42::") // nybble 24 = 0
+	if !r.Answers(low) {
+		t.Error("branch 0 should answer")
+	}
+	high := low.WithNybble(24, 0xf)
+	if r.Answers(high) {
+		t.Error("branch f should be dark")
+	}
+}
+
+func BenchmarkAblation_FanOutVsRandom(b *testing.B) {
+	p := ip6.MustParsePrefix("2001:db8:42::/96")
+	resp := PartialAliasResponder{Responding: 9, Level: 24}
+	for i := 0; i < b.N; i++ {
+		MisclassificationRate(p, resp, 100, func(tr int) []ip6.Addr {
+			return RandomTargets(p, 3, int64(tr))
+		})
+	}
+}

@@ -1,0 +1,359 @@
+// Package apd implements the paper's multi-level aliased prefix detection
+// (§5): probing 16 pseudo-random addresses per candidate prefix — one in
+// each 4-bit subprefix (the "fan-out" of Table 3) — on ICMPv6 and TCP/80,
+// classifying a prefix as aliased when all 16 respond, with cross-protocol
+// response merging and a multi-day sliding window for loss resilience
+// (§5.2), and a longest-prefix-match filter applied to the hitlist (§5.1).
+//
+// The static-/96 detection of Murdock et al., which the paper compares
+// against in §5.5, is implemented in murdock.go.
+package apd
+
+import (
+	"math/rand"
+	"sort"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/probe"
+	"expanse/internal/wire"
+)
+
+// Branches is the fan-out width: one probe per 4-bit subprefix.
+const Branches = 16
+
+// DefaultMinTargets is the paper's candidate threshold: prefixes with
+// more than 100 hitlist targets are probed (plus all /64s regardless).
+const DefaultMinTargets = 100
+
+// DefaultProtocols are the probe protocols of §5.1 (32 probes/prefix).
+var DefaultProtocols = []wire.Proto{wire.ICMPv6, wire.TCP80}
+
+// Candidate is one prefix scheduled for alias detection.
+type Candidate struct {
+	Prefix ip6.Prefix
+	// Targets is the number of hitlist addresses inside the prefix
+	// (0 for BGP-derived candidates).
+	Targets int
+}
+
+// HitlistCandidates maps hitlist addresses to all prefixes from /64 to
+// /124 in 4-bit steps and returns those with more than minTargets
+// addresses — except /64s, which are all kept ("so as to allow full
+// analysis of all known /64 prefixes"). Candidates are refined level by
+// level, so only populated branches are expanded.
+func HitlistCandidates(addrs []ip6.Addr, minTargets int) []Candidate {
+	if minTargets <= 0 {
+		minTargets = DefaultMinTargets
+	}
+	// Level /64: bucket everything.
+	level := make(map[ip6.Prefix][]ip6.Addr)
+	for _, a := range addrs {
+		p := ip6.PrefixFrom(a, 64)
+		level[p] = append(level[p], a)
+	}
+	var out []Candidate
+	for p, list := range level {
+		out = append(out, Candidate{Prefix: p, Targets: len(list)})
+	}
+	// Deeper levels: only prefixes that can still exceed the threshold.
+	for bits := 68; bits <= 124; bits += 4 {
+		next := make(map[ip6.Prefix][]ip6.Addr)
+		for _, list := range level {
+			if len(list) <= minTargets {
+				continue
+			}
+			for _, a := range list {
+				p := ip6.PrefixFrom(a, bits)
+				next[p] = append(next[p], a)
+			}
+		}
+		for p, list := range next {
+			if len(list) > minTargets {
+				out = append(out, Candidate{Prefix: p, Targets: len(list)})
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return ip6.ComparePrefix(out[i].Prefix, out[j].Prefix) < 0
+	})
+	return out
+}
+
+// BGPCandidates returns every announced prefix as a candidate, probed
+// as-is ("without enumerating additional prefixes").
+func BGPCandidates(table *bgp.Table) []Candidate {
+	anns := table.Announcements()
+	out := make([]Candidate, len(anns))
+	for i, a := range anns {
+		out[i] = Candidate{Prefix: a.Prefix}
+	}
+	return out
+}
+
+// FanOut generates the 16 probe targets of a prefix: one pseudo-random
+// address inside each of its 16 next-level subprefixes (Table 3). The
+// addresses are deterministic per prefix, so the same targets are probed
+// every day — the sliding window of §5.2 tracks per-address responses.
+func FanOut(p ip6.Prefix) [Branches]ip6.Addr {
+	var out [Branches]ip6.Addr
+	sub := p.Bits() + 4
+	if sub > 128 {
+		sub = 128
+	}
+	seed := int64(p.Addr().Hi()^p.Addr().Lo()) ^ int64(p.Bits())<<56
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < Branches; i++ {
+		out[i] = p.Subprefix(sub, uint64(i)).RandomAddr(rng)
+	}
+	return out
+}
+
+// BranchMask records which of the 16 fan-out branches responded (bit i =
+// branch i).
+type BranchMask uint16
+
+// AllBranches is the fully-responsive mask — the aliased verdict.
+const AllBranches BranchMask = 1<<Branches - 1
+
+// Count returns the number of responding branches.
+func (m BranchMask) Count() int {
+	n := 0
+	for i := 0; i < Branches; i++ {
+		if m&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Detector runs APD probing rounds.
+type Detector struct {
+	scanner   *probe.Scanner
+	protocols []wire.Proto
+	// ProbesSent accumulates the number of probe packets sent, for the
+	// bandwidth comparison of §5.5.
+	ProbesSent int
+}
+
+// NewDetector builds a detector over a responder. Protocols defaults to
+// ICMPv6+TCP/80.
+func NewDetector(r wire.Responder, protocols ...wire.Proto) *Detector {
+	if len(protocols) == 0 {
+		protocols = DefaultProtocols
+	}
+	return &Detector{
+		scanner:   probe.New(r, probe.WithWorkers(8), probe.WithSeed(0xa9d)),
+		protocols: protocols,
+	}
+}
+
+// ProbeDay probes every candidate's fan-out targets on all protocols for
+// one day and returns the per-prefix branch masks with cross-protocol
+// merging already applied ("we treat an address as responsive even if it
+// replies to only the ICMPv6 or the TCP/80 probe").
+func (d *Detector) ProbeDay(cands []Candidate, day int) map[ip6.Prefix]BranchMask {
+	// Flatten: 16 targets per candidate, probe once per protocol.
+	targets := make([]ip6.Addr, 0, len(cands)*Branches)
+	for _, c := range cands {
+		fo := FanOut(c.Prefix)
+		targets = append(targets, fo[:]...)
+	}
+	masks := make(map[ip6.Prefix]BranchMask, len(cands))
+	for _, proto := range d.protocols {
+		res := d.scanner.Scan(targets, proto, day)
+		d.ProbesSent += len(targets)
+		for ci, c := range cands {
+			m := masks[c.Prefix]
+			for b := 0; b < Branches; b++ {
+				if res[ci*Branches+b].OK {
+					m |= 1 << b
+				}
+			}
+			masks[c.Prefix] = m
+		}
+	}
+	return masks
+}
+
+// History accumulates daily branch masks for the sliding window.
+type History struct {
+	days []map[ip6.Prefix]BranchMask
+}
+
+// Add appends one day's observation.
+func (h *History) Add(day map[ip6.Prefix]BranchMask) {
+	h.days = append(h.days, day)
+}
+
+// Len returns the number of recorded days.
+func (h *History) Len() int { return len(h.days) }
+
+// MergedAt returns the branch mask of prefix p at day index di, OR-merged
+// over a sliding window of the previous `window` days (window 0 = that
+// day only): a branch counts as responsive if its address answered any
+// protocol on any day in the window (§5.2).
+func (h *History) MergedAt(p ip6.Prefix, di, window int) BranchMask {
+	var m BranchMask
+	lo := di - window
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= di && i < len(h.days); i++ {
+		m |= h.days[i][p]
+	}
+	return m
+}
+
+// AliasedAt returns the set of prefixes classified aliased at day index
+// di under the given sliding window.
+func (h *History) AliasedAt(di, window int) map[ip6.Prefix]bool {
+	out := make(map[ip6.Prefix]bool)
+	if di >= len(h.days) || di < 0 {
+		return out
+	}
+	for p := range h.days[di] {
+		if h.MergedAt(p, di, window) == AllBranches {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// Prefixes returns every prefix ever observed.
+func (h *History) Prefixes() []ip6.Prefix {
+	seen := map[ip6.Prefix]bool{}
+	for _, d := range h.days {
+		for p := range d {
+			seen[p] = true
+		}
+	}
+	out := make([]ip6.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+// UnstablePrefixes counts prefixes whose aliased classification changes
+// across the recorded days when using the given sliding window — the
+// metric of Table 4. Evaluation starts once the window is full.
+func (h *History) UnstablePrefixes(window int) int {
+	unstable := 0
+	for _, p := range h.Prefixes() {
+		var prev, cur bool
+		flips := 0
+		for di := window; di < len(h.days); di++ {
+			cur = h.MergedAt(p, di, window) == AllBranches
+			if di > window && cur != prev {
+				flips++
+			}
+			prev = cur
+		}
+		if flips > 0 {
+			unstable++
+		}
+	}
+	return unstable
+}
+
+// Filter is the longest-prefix-match alias filter of §5.1: it stores the
+// verdict of every probed prefix and decides per address using the most
+// closely covering probed prefix, so a non-aliased more-specific rescues
+// its addresses from an aliased less-specific.
+type Filter struct {
+	trie ip6.Trie[bool]
+}
+
+// NewFilter builds a filter from per-prefix verdicts.
+func NewFilter(verdicts map[ip6.Prefix]bool) *Filter {
+	f := &Filter{}
+	for p, aliased := range verdicts {
+		f.trie.Insert(p, aliased)
+	}
+	return f
+}
+
+// IsAliased reports whether addr falls under an aliased prefix per the
+// most specific probed verdict.
+func (f *Filter) IsAliased(addr ip6.Addr) bool {
+	_, aliased, ok := f.trie.Lookup(addr)
+	return ok && aliased
+}
+
+// AliasedPrefixes returns the prefixes with aliased verdicts.
+func (f *Filter) AliasedPrefixes() []ip6.Prefix {
+	var out []ip6.Prefix
+	f.trie.Walk(func(p ip6.Prefix, aliased bool) bool {
+		if aliased {
+			out = append(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+// Split partitions addresses into non-aliased and aliased per the filter.
+func (f *Filter) Split(addrs []ip6.Addr) (clean, aliased []ip6.Addr) {
+	for _, a := range addrs {
+		if f.IsAliased(a) {
+			aliased = append(aliased, a)
+		} else {
+			clean = append(clean, a)
+		}
+	}
+	return clean, aliased
+}
+
+// NestedCase classifies a (more specific, less specific) candidate pair
+// per the four-case taxonomy of §5.1.
+type NestedCase int
+
+// The four §5.1 cases.
+const (
+	CaseBothAliased NestedCase = iota + 1
+	CaseBothNonAliased
+	CaseMoreAliasedLessNot
+	CaseMoreNotLessAliased // the anomaly case
+)
+
+// CaseCounts tallies the §5.1 taxonomy over all nested candidate pairs
+// (comparing each prefix against its closest probed ancestor).
+func CaseCounts(verdicts map[ip6.Prefix]bool) map[NestedCase]int {
+	var t ip6.Trie[bool]
+	for p, v := range verdicts {
+		t.Insert(p, v)
+	}
+	counts := map[NestedCase]int{}
+	for p, more := range verdicts {
+		if p.Bits() == 0 {
+			continue
+		}
+		// Closest probed ancestor: LPM on the address with a shorter
+		// maximum depth — walk the trie to bits-1 by looking up the
+		// parent prefix levels.
+		found := false
+		var less bool
+		for bits := p.Bits() - 1; bits >= 0 && !found; bits-- {
+			if v, ok := t.Get(ip6.PrefixFrom(p.Addr(), bits)); ok {
+				less, found = v, true
+			}
+		}
+		if !found {
+			continue
+		}
+		switch {
+		case more && less:
+			counts[CaseBothAliased]++
+		case !more && !less:
+			counts[CaseBothNonAliased]++
+		case more && !less:
+			counts[CaseMoreAliasedLessNot]++
+		default:
+			counts[CaseMoreNotLessAliased]++
+		}
+	}
+	return counts
+}

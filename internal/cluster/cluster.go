@@ -1,0 +1,233 @@
+// Package cluster implements k-means clustering with k-means++ seeding,
+// the elbow method for choosing k, and the median-entropy cluster
+// summaries of the paper's Figure 2 (§4: "we run the k-means algorithm on
+// the obtained dataset … we use the well-known elbow method to find the
+// number of clusters").
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"expanse/internal/stats"
+)
+
+// Result of one k-means run.
+type Result struct {
+	K         int
+	Assign    []int       // cluster id per point, in input order
+	Centroids [][]float64 // k centroid vectors
+	SSE       float64     // sum of squared distances to assigned centroid
+}
+
+// KMeans clusters points into k groups. Deterministic for a given seed.
+// Points must all have equal dimension. Empty input or k <= 0 yields an
+// empty result; k > len(points) is clamped.
+func KMeans(points [][]float64, k int, seed int64) Result {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return Result{}
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	const maxIter = 100
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bd := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		dim := len(points[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the point farthest from
+				// its centroid, a standard k-means repair.
+				far, fd := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > fd {
+						far, fd = i, d
+					}
+				}
+				centroids[c] = append([]float64(nil), points[far]...)
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	sse := 0.0
+	for i, p := range points {
+		sse += sqDist(p, centroids[assign[i]])
+	}
+	return Result{K: k, Assign: assign, Centroids: centroids, SSE: sse}
+}
+
+// seedPlusPlus is k-means++ initialization: the first centroid uniform,
+// each next chosen with probability proportional to squared distance to
+// the closest existing centroid.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(len(points))]...))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, d := range d2 {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ElbowCurve returns SSE(k) for k = 1..kmax (equation (6)).
+func ElbowCurve(points [][]float64, kmax int, seed int64) []float64 {
+	if kmax > len(points) {
+		kmax = len(points)
+	}
+	out := make([]float64, kmax)
+	for k := 1; k <= kmax; k++ {
+		out[k-1] = KMeans(points, k, seed).SSE
+	}
+	return out
+}
+
+// Elbow picks the k at the "elbow" of the SSE curve: the point with
+// maximum distance to the chord between the first and last curve points
+// (the standard geometric formalization of the paper's visual method).
+func Elbow(sse []float64) int {
+	n := len(sse)
+	if n <= 2 {
+		return n
+	}
+	x1, y1 := 1.0, sse[0]
+	x2, y2 := float64(n), sse[n-1]
+	den := math.Hypot(x2-x1, y2-y1)
+	if den == 0 {
+		return 1
+	}
+	bestK, bestD := 1, -1.0
+	for k := 1; k <= n; k++ {
+		// Distance from (k, sse[k-1]) to the chord.
+		d := math.Abs((y2-y1)*float64(k)-(x2-x1)*sse[k-1]+x2*y1-y2*x1) / den
+		if d > bestD {
+			bestK, bestD = k, d
+		}
+	}
+	return bestK
+}
+
+// ChooseK runs the elbow method end to end.
+func ChooseK(points [][]float64, kmax int, seed int64) (k int, curve []float64) {
+	curve = ElbowCurve(points, kmax, seed)
+	return Elbow(curve), curve
+}
+
+// Summary describes one cluster as the paper plots it: its share of
+// networks and the median entropy of each nybble.
+type Summary struct {
+	ID            int // 1-based, ordered by popularity
+	Size          int
+	Share         float64
+	MedianEntropy []float64
+}
+
+// Summarize produces popularity-ordered cluster summaries from a k-means
+// result over the given points.
+func Summarize(points [][]float64, res Result) []Summary {
+	if len(points) == 0 || res.K == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	byCluster := make([][][]float64, res.K)
+	for i, p := range points {
+		c := res.Assign[i]
+		byCluster[c] = append(byCluster[c], p)
+	}
+	sums := make([]Summary, 0, res.K)
+	for c := 0; c < res.K; c++ {
+		pts := byCluster[c]
+		if len(pts) == 0 {
+			continue
+		}
+		med := make([]float64, dim)
+		col := make([]float64, len(pts))
+		for d := 0; d < dim; d++ {
+			for i, p := range pts {
+				col[i] = p[d]
+			}
+			med[d] = stats.Median(col)
+		}
+		sums = append(sums, Summary{
+			Size:          len(pts),
+			Share:         float64(len(pts)) / float64(len(points)),
+			MedianEntropy: med,
+		})
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i].Size > sums[j].Size })
+	for i := range sums {
+		sums[i].ID = i + 1
+	}
+	return sums
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates n points around each given center with the given spread.
+func blobs(centers [][]float64, n int, spread float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var pts [][]float64
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(c))
+			for d := range c {
+				p[d] = c[d] + rng.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}, {0, 10}}
+	pts := blobs(centers, 50, 0.5, 1)
+	res := KMeans(pts, 3, 7)
+	if res.K != 3 {
+		t.Fatalf("K = %d", res.K)
+	}
+	// All points of one blob must share an assignment.
+	for b := 0; b < 3; b++ {
+		want := res.Assign[b*50]
+		for i := 0; i < 50; i++ {
+			if res.Assign[b*50+i] != want {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+	// And the three blobs must be in three different clusters.
+	if res.Assign[0] == res.Assign[50] || res.Assign[50] == res.Assign[100] || res.Assign[0] == res.Assign[100] {
+		t.Error("blobs merged")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {5, 5}}, 100, 1, 2)
+	a := KMeans(pts, 2, 9)
+	b := KMeans(pts, 2, 9)
+	if a.SSE != b.SSE {
+		t.Error("SSE differs between identical runs")
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignment differs between identical runs")
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if r := KMeans(nil, 3, 1); r.K != 0 || r.Assign != nil {
+		t.Error("empty input should give empty result")
+	}
+	if r := KMeans([][]float64{{1}}, 0, 1); r.K != 0 {
+		t.Error("k=0 should give empty result")
+	}
+	// k > n clamps.
+	r := KMeans([][]float64{{1}, {2}}, 10, 1)
+	if r.K != 2 {
+		t.Errorf("K = %d, want clamp to 2", r.K)
+	}
+	// Identical points: SSE 0, single effective cluster fine.
+	same := [][]float64{{3, 3}, {3, 3}, {3, 3}}
+	r = KMeans(same, 2, 1)
+	if r.SSE != 0 {
+		t.Errorf("identical points SSE = %v", r.SSE)
+	}
+}
+
+// Property: SSE decreases (weakly) as k grows.
+func TestSSEMonotoneInK(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {8, 0}, {0, 8}, {8, 8}}, 30, 1.0, 3)
+	curve := ElbowCurve(pts, 8, 11)
+	for i := 1; i < len(curve); i++ {
+		// Allow tiny increases from local minima; k-means is a heuristic.
+		if curve[i] > curve[i-1]*1.10+1e-9 {
+			t.Errorf("SSE rose sharply at k=%d: %v -> %v", i+1, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestElbowFindsTrueK(t *testing.T) {
+	// Four well-separated blobs: elbow should be at (or adjacent to) 4.
+	pts := blobs([][]float64{{0, 0}, {20, 0}, {0, 20}, {20, 20}}, 40, 0.5, 4)
+	k, curve := ChooseK(pts, 10, 5)
+	if len(curve) != 10 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if k < 3 || k > 5 {
+		t.Errorf("elbow k = %d, want ~4", k)
+	}
+}
+
+func TestElbowDegenerate(t *testing.T) {
+	if k := Elbow(nil); k != 0 {
+		t.Errorf("empty curve k = %d", k)
+	}
+	if k := Elbow([]float64{5}); k != 1 {
+		t.Errorf("single point k = %d", k)
+	}
+	if k := Elbow([]float64{5, 5, 5}); k != 1 {
+		t.Errorf("flat curve k = %d", k)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {10, 10}}, 30, 0.3, 6)
+	// Make blob sizes unequal: drop 10 points of the second blob.
+	pts = pts[:50]
+	res := KMeans(pts, 2, 7)
+	sums := Summarize(pts, res)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Size < sums[1].Size {
+		t.Error("summaries not popularity ordered")
+	}
+	if sums[0].ID != 1 || sums[1].ID != 2 {
+		t.Error("IDs not 1-based popularity ranks")
+	}
+	if math.Abs(sums[0].Share+sums[1].Share-1) > 1e-9 {
+		t.Error("shares must sum to 1")
+	}
+	// Median entropy of the big blob (~(0,0)) close to 0 per dim.
+	big := sums[0]
+	if math.Abs(big.MedianEntropy[0]) > 0.5 {
+		t.Errorf("big blob median = %v", big.MedianEntropy)
+	}
+	if s := Summarize(nil, Result{}); s != nil {
+		t.Error("empty summarize should be nil")
+	}
+}
+
+// Property: every k-means assignment is a valid cluster index and every
+// point is assigned to its nearest centroid (local optimality).
+func TestAssignmentsNearest(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := blobs([][]float64{{0, 0}, {6, 6}}, 25, 1.2, seed)
+		res := KMeans(pts, 3, seed)
+		for i, p := range pts {
+			a := res.Assign[i]
+			if a < 0 || a >= res.K {
+				return false
+			}
+			da := sqDist(p, res.Centroids[a])
+			for _, c := range res.Centroids {
+				if sqDist(p, c) < da-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	pts := blobs([][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}, {15, 15}}, 300, 1, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(pts, 6, 9)
+	}
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"expanse/internal/apd"
+	"expanse/internal/bgp"
+	"expanse/internal/fingerprint"
+	"expanse/internal/ip6"
+	"expanse/internal/stats"
+	"expanse/internal/wire"
+	"expanse/internal/zesplot"
+)
+
+// Table3 reproduces the fan-out example: the 16 pseudo-random targets of
+// 2001:db8:407:8000::/64, one per /68 subprefix.
+func (l *Lab) Table3() *Report {
+	r := &Report{ID: "Table 3", Title: "Multi-level APD fan-out for 2001:db8:407:8000::/64"}
+	p := ip6.MustParsePrefix("2001:db8:407:8000::/64")
+	for _, a := range apd.FanOut(p) {
+		r.addf("%s", a.Expanded())
+	}
+	return r
+}
+
+// Table4 reproduces the sliding-window study: unstable prefixes under
+// window sizes 0..5 over 14 APD days.
+func (l *Lab) Table4() *Report {
+	l.ensureAPDDays(14)
+	r := &Report{ID: "Table 4", Title: "Impact of sliding window on unstable prefix count"}
+	line1, line2 := "window:  ", "unstable:"
+	prev := -1
+	for w := 0; w <= 5; w++ {
+		u := l.P.History().UnstablePrefixes(w)
+		line1 += fmt.Sprintf(" %5d", w)
+		line2 += fmt.Sprintf(" %5d", u)
+		if w == l.P.Cfg.APDWindow && prev > 0 {
+			r.addf("reduction at window %d vs 0: %.0f%%", w, 100*(1-float64(u)/float64(prev)))
+		}
+		if w == 0 {
+			prev = u
+		}
+	}
+	r.Lines = append([]string{line1, line2}, r.Lines...)
+	return r
+}
+
+// Sec53 reproduces the de-aliasing impact numbers: hitlist share removed,
+// AS and prefix coverage change, and the Amazon concentration.
+func (l *Lab) Sec53() *Report {
+	l.ensureAPD()
+	r := &Report{ID: "Sec 5.3", Title: "Impact of de-aliasing on the hitlist"}
+	all := l.P.Hitlist().Sorted()
+	clean, aliased := l.P.Filter().Split(all)
+	r.addf("hitlist before filtering: %d", len(all))
+	r.addf("after removing aliased:  %d (%.1f%% remain)", len(clean), 100*float64(len(clean))/float64(len(all)))
+	r.addf("aliased addresses:       %d (%.1f%%)", len(aliased), 100*float64(len(aliased))/float64(len(all)))
+
+	asCover := func(addrs []ip6.Addr) (int, int) {
+		ases, pfx := map[bgp.ASN]bool{}, map[ip6.Prefix]bool{}
+		for _, a := range addrs {
+			if p, asn, ok := l.P.World.Table.Lookup(a); ok {
+				ases[asn] = true
+				pfx[p] = true
+			}
+		}
+		return len(ases), len(pfx)
+	}
+	asAll, pfxAll := asCover(all)
+	asClean, pfxClean := asCover(clean)
+	r.addf("AS coverage: %d -> %d (lost %d)", asAll, asClean, asAll-asClean)
+	r.addf("prefix coverage: %d -> %d (-%.1f%%)", pfxAll, pfxClean, 100*(1-float64(pfxClean)/float64(maxInt(pfxAll, 1))))
+
+	// Where do aliased addresses live? (The paper: mostly Amazon /48s.)
+	asCount := map[bgp.ASN]int{}
+	for _, a := range aliased {
+		if asn, ok := l.P.World.Table.Origin(a); ok {
+			asCount[asn]++
+		}
+	}
+	top := ""
+	type kv struct {
+		asn bgp.ASN
+		c   int
+	}
+	var list []kv
+	for a, c := range asCount {
+		list = append(list, kv{a, c})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].c > list[j].c })
+	for i := 0; i < 3 && i < len(list); i++ {
+		top += fmt.Sprintf(" %s=%.1f%%", l.P.World.Table.AS(list[i].asn).Name,
+			100*float64(list[i].c)/float64(maxInt(len(aliased), 1)))
+	}
+	r.addf("top ASes among aliased addresses:%s", top)
+
+	// Ground-truth check (simulator only): detection quality.
+	tp, fp, fn := 0, 0, 0
+	for _, a := range aliased {
+		if l.P.World.GroundTruthAliased(a) {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for _, a := range clean {
+		if l.P.World.GroundTruthAliased(a) {
+			fn++
+		}
+	}
+	r.addf("ground truth: precision %.3f, recall %.3f",
+		float64(tp)/float64(maxInt(tp+fp, 1)), float64(tp)/float64(maxInt(tp+fn, 1)))
+	return r
+}
+
+// Fig4 reproduces the prefix/AS concentration curves for aliased,
+// non-aliased, and all hitlist addresses.
+func (l *Lab) Fig4() *Report {
+	l.ensureAPD()
+	r := &Report{ID: "Fig 4", Title: "Prefix and AS distribution: aliased vs non-aliased vs all"}
+	all := l.P.Hitlist().Sorted()
+	clean, aliased := l.P.Filter().Split(all)
+	points := stats.LogPoints(1000)
+	header := fmt.Sprintf("%-24s", "population")
+	for _, x := range points {
+		header += fmt.Sprintf(" %6d", x)
+	}
+	r.Lines = append(r.Lines, header)
+	for _, row := range []struct {
+		name  string
+		addrs []ip6.Addr
+		byAS  bool
+	}{
+		{"All IPs [AS]", all, true},
+		{"All IPs [Prefix]", all, false},
+		{"Aliased IPs [AS]", aliased, true},
+		{"Aliased IPs [Prefix]", aliased, false},
+		{"Non-aliased [AS]", clean, true},
+		{"Non-aliased [Prefix]", clean, false},
+	} {
+		conc := l.concentrationOf(row.addrs, row.byAS)
+		line := fmt.Sprintf("%-24s", row.name)
+		for _, f := range conc.Curve(points) {
+			line += fmt.Sprintf(" %6.3f", f)
+		}
+		r.Lines = append(r.Lines, line)
+	}
+	// The headline shape: aliased concentrated in very few ASes.
+	ac := l.concentrationOf(aliased, true)
+	nc := l.concentrationOf(clean, true)
+	r.addf("top-1 AS share: aliased %.2f vs non-aliased %.2f", ac.TopFraction(1), nc.TopFraction(1))
+	return r
+}
+
+func (l *Lab) concentrationOf(addrs []ip6.Addr, byAS bool) *stats.Concentration {
+	asC, pfxC := map[bgp.ASN]int{}, map[ip6.Prefix]int{}
+	for _, a := range addrs {
+		if p, asn, ok := l.P.World.Table.Lookup(a); ok {
+			asC[asn]++
+			pfxC[p]++
+		}
+	}
+	if byAS {
+		return stats.NewConcentration(asC)
+	}
+	return stats.NewConcentration(pfxC)
+}
+
+// Fig5 reproduces the APD zesplot pair: ICMP responses without APD
+// filtering, and the detected aliased prefixes.
+func (l *Lab) Fig5() *Report {
+	l.ensureScanFull()
+	l.ensureAPD()
+	r := &Report{ID: "Fig 5", Title: "Responses to ICMP echo: full input vs detected aliased prefixes"}
+	icmp := l.scanFull.Responsive(wire.ICMPv6)
+	counts, _ := l.prefixCounts(icmp)
+	r.addf("(a) prefixes with ICMP responses (no APD): %d, responses: %d", len(counts), len(icmp))
+
+	aliasedPrefixes := l.P.Filter().AliasedPrefixes()
+	// The "hook": aliased /48s by AS.
+	by48 := map[bgp.ASN]int{}
+	n48 := 0
+	for _, p := range aliasedPrefixes {
+		if p.Bits() == 48 {
+			n48++
+			if asn, ok := l.P.World.Table.Origin(p.Addr()); ok {
+				by48[asn]++
+			}
+		}
+	}
+	r.addf("(b) detected aliased prefixes: %d (%.1f%% of plotted)", len(aliasedPrefixes),
+		100*float64(len(aliasedPrefixes))/float64(maxInt(len(counts), 1)))
+	amazon := by48[bgp.FindASN("Amazon")]
+	incap := by48[bgp.FindASN("Incapsula")]
+	r.addf("aliased /48s: %d total; Amazon %d (outer hook), Incapsula %d (inner hook)", n48, amazon, incap)
+	return r
+}
+
+// Fig5SVGs returns the two SVG documents of Figure 5.
+func (l *Lab) Fig5SVGs() (noAPD, aliased string) {
+	l.ensureScanFull()
+	l.ensureAPD()
+	icmp := l.scanFull.Responsive(wire.ICMPv6)
+	counts, _ := l.prefixCounts(icmp)
+	items := l.allPrefixItems(counts)
+	noAPD = zesplot.SVG(items, zesplot.Options{Sized: false, Title: "Fig 5a: ICMP responses without APD"})
+	var alItems []zesplot.Item
+	for _, p := range l.P.Filter().AliasedPrefixes() {
+		asn, _ := l.P.World.Table.Origin(p.Addr())
+		alItems = append(alItems, zesplot.Item{Prefix: p, ASN: asn, Value: float64(counts[p] + 1)})
+	}
+	aliased = zesplot.SVG(alItems, zesplot.Options{Sized: false, Title: "Fig 5b: detected aliased prefixes"})
+	return noAPD, aliased
+}
+
+// aliasedFingerprintReports collects §5.4 fingerprint reports over
+// aliased /64s whose 16 fan-out addresses all answered TCP/80.
+func (l *Lab) aliasedFingerprintReports() []fingerprint.Report {
+	l.ensureAPD()
+	day := l.measureDay()
+	var reports []fingerprint.Report
+	for p, aliased := range l.P.Verdicts() {
+		if !aliased || p.Bits() != 64 {
+			continue
+		}
+		fo := apd.FanOut(p)
+		pairs := l.P.ProbePairs(fo[:], day)
+		var samples []fingerprint.Sample
+		answered := 0
+		for _, pr := range pairs {
+			if pr.First.OK {
+				answered++
+			}
+			for _, res := range []struct {
+				ok  bool
+				at  wire.Time
+				hl  uint8
+				tcp *wire.TCPInfo
+			}{
+				{pr.First.OK, pr.First.SentAt, pr.First.HopLimit, pr.First.TCP},
+				{pr.Second.OK, pr.Second.SentAt, pr.Second.HopLimit, pr.Second.TCP},
+			} {
+				if res.ok {
+					samples = append(samples, fingerprint.Sample{SentAt: res.at, HopLimit: res.hl, TCP: res.tcp})
+				}
+			}
+		}
+		if answered < apd.Branches {
+			continue // the paper analyzes fully-responsive prefixes only
+		}
+		reports = append(reports, fingerprint.Analyze(samples))
+	}
+	return reports
+}
+
+// Table5 reproduces the fingerprint consistency table over aliased /64s.
+func (l *Lab) Table5() *Report {
+	r := &Report{ID: "Table 5", Title: "Fingerprinting aliased /64 prefixes: inconsistencies per test"}
+	reports := l.aliasedFingerprintReports()
+	t := fingerprint.Tabulate(reports)
+	r.addf("aliased /64 prefixes with all 16 TCP/80 fan-out answers: %d", t.Prefixes)
+	names := []string{"iTTL", "Optionstext", "WScale", "MSS", "WSize"}
+	per := []int{t.ITTL, t.Options, t.WScale, t.MSS, t.WSize}
+	for i, n := range names {
+		r.addf("%-12s incs=%-5d cum-incs=%-5d cum-consistent=%d", n, per[i], t.Cumulative[i], t.Prefixes-t.Cumulative[i])
+	}
+	r.addf("%-12s consistent=%d (%.1f%%)", "Timestamps", t.TSConsistent,
+		100*float64(t.TSConsistent)/float64(maxInt(t.Prefixes, 1)))
+	return r
+}
+
+// Table6 reproduces the validation: the same tests on non-aliased /64s
+// with at least 16 responding addresses.
+func (l *Lab) Table6() *Report {
+	l.ensureScanClean()
+	r := &Report{ID: "Table 6", Title: "Validation: consistency of aliased vs non-aliased prefixes"}
+	day := l.measureDay()
+
+	// Non-aliased /64s with >= 16 TCP/80-responsive addresses.
+	per64 := map[ip6.Prefix][]ip6.Addr{}
+	for i, a := range l.scanClean.Addrs {
+		if l.scanClean.Masks[i].Has(wire.TCP80) {
+			p := ip6.PrefixFrom(a, 64)
+			per64[p] = append(per64[p], a)
+		}
+	}
+	var nonAliased []fingerprint.Report
+	for _, addrs := range per64 {
+		if len(addrs) < 16 {
+			continue
+		}
+		pairs := l.P.ProbePairs(addrs[:16], day)
+		var samples []fingerprint.Sample
+		for _, pr := range pairs {
+			if pr.First.OK {
+				samples = append(samples, fingerprint.Sample{SentAt: pr.First.SentAt, HopLimit: pr.First.HopLimit, TCP: pr.First.TCP})
+			}
+			if pr.Second.OK {
+				samples = append(samples, fingerprint.Sample{SentAt: pr.Second.SentAt, HopLimit: pr.Second.HopLimit, TCP: pr.Second.TCP})
+			}
+		}
+		if len(samples) < 16 {
+			continue
+		}
+		nonAliased = append(nonAliased, fingerprint.Analyze(samples))
+	}
+
+	aliasedT := fingerprint.Tabulate(l.aliasedFingerprintReports())
+	nonT := fingerprint.Tabulate(nonAliased)
+	ai, ac, aid := aliasedT.Shares()
+	ni, nc, nid := nonT.Shares()
+	r.addf("%-22s %8s %8s %8s  (n)", "Scan type", "Incons.", "Cons.", "Indec.")
+	r.addf("%-22s %7.1f%% %7.1f%% %7.1f%%  (%d)", "Non-aliased prefixes", ni*100, nc*100, nid*100, nonT.Prefixes)
+	r.addf("%-22s %7.1f%% %7.1f%% %7.1f%%  (%d)", "Aliased prefixes", ai*100, ac*100, aid*100, aliasedT.Prefixes)
+	return r
+}
+
+// Sec55 reproduces the comparison with Murdock et al.'s static-/96 APD:
+// addresses found aliased by each method and probe budgets.
+func (l *Lab) Sec55() *Report {
+	l.ensureAPD()
+	r := &Report{ID: "Sec 5.5", Title: "Multi-level APD vs Murdock et al. static /96"}
+	hitlist := l.P.Hitlist().Sorted()
+	md := apd.NewMurdockDetector(l.P.World)
+	cands := md.Candidates(hitlist)
+	verdicts := md.Detect(cands, l.measureDay())
+	mf := apd.MurdockFilter(verdicts)
+
+	oursOnly, theirsOnly, both := 0, 0, 0
+	for _, a := range hitlist {
+		ours := l.P.Filter().IsAliased(a)
+		theirs := mf.IsAliased(a)
+		switch {
+		case ours && theirs:
+			both++
+		case ours:
+			oursOnly++
+		case theirs:
+			theirsOnly++
+		}
+	}
+	r.addf("aliased by both methods:        %d", both)
+	r.addf("aliased only by multi-level:    %d", oursOnly)
+	r.addf("aliased only by Murdock (/96):  %d", theirsOnly)
+	r.addf("probe packets: multi-level %d vs Murdock %d (%.2fx)",
+		l.P.APDProbesSent(), md.ProbesSent, float64(md.ProbesSent)/float64(maxInt(l.P.APDProbesSent(), 1)))
+	// §5.1 case taxonomy over our verdicts.
+	cc := apd.CaseCounts(l.P.Verdicts())
+	r.addf("nested-pair cases: both-aliased=%d both-clean=%d more-aliased=%d anomaly(case 4)=%d",
+		cc[apd.CaseBothAliased], cc[apd.CaseBothNonAliased], cc[apd.CaseMoreAliasedLessNot], cc[apd.CaseMoreNotLessAliased])
+	return r
+}

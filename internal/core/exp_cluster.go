@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"expanse/internal/cluster"
+	"expanse/internal/entropy"
+	"expanse/internal/wire"
+	"expanse/internal/zesplot"
+)
+
+// clusteringReport runs the full §4 method — fingerprint, elbow, k-means,
+// summaries — over the given groups and renders the Figure 2-style rows.
+func clusteringReport(r *Report, groups []entropy.Group, a int) (cluster.Result, []entropy.Group) {
+	vectors := entropy.Vectors(groups)
+	if len(vectors) == 0 {
+		r.addf("no groups above the size threshold")
+		return cluster.Result{}, groups
+	}
+	kmax := 20
+	if kmax > len(vectors) {
+		kmax = len(vectors)
+	}
+	k, curve := cluster.ChooseK(vectors, kmax, 0x16c18)
+	res := cluster.KMeans(vectors, k, 0x16c18)
+	sums := cluster.Summarize(vectors, res)
+
+	r.addf("groups (networks with >= threshold addresses): %d", len(groups))
+	line := "SSE(k):"
+	for i, s := range curve {
+		if i >= 10 {
+			break
+		}
+		line += fmt.Sprintf(" k%d=%.2f", i+1, s)
+	}
+	r.Lines = append(r.Lines, line)
+	r.addf("elbow k = %d", k)
+	for _, s := range sums {
+		row := fmt.Sprintf("cluster %d: %5.1f%% of networks | median entropy per nybble:", s.ID, s.Share*100)
+		for j, h := range s.MedianEntropy {
+			_ = j
+			row += fmt.Sprintf(" %.1f", h)
+		}
+		r.Lines = append(r.Lines, row)
+	}
+	_ = a
+	return res, groups
+}
+
+// Fig2a reproduces entropy clustering of /32 prefixes over full-address
+// fingerprints F9-32 (the paper finds 6 clusters).
+func (l *Lab) Fig2a() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Fig 2a", Title: "Entropy clustering of /32s, full-address fingerprints F9-32"}
+	groups := entropy.ByPrefixLen(l.P.Hitlist().Sorted(), 32, l.groupMin(), 9, 32)
+	clusteringReport(r, groups, 9)
+	return r
+}
+
+// Fig2b reproduces entropy clustering over IID fingerprints F17-32 (the
+// paper finds 4 clusters).
+func (l *Lab) Fig2b() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Fig 2b", Title: "Entropy clustering of /32s, IID fingerprints F17-32"}
+	groups := entropy.ByPrefixLen(l.P.Hitlist().Sorted(), 32, l.groupMin(), 17, 32)
+	clusteringReport(r, groups, 17)
+	return r
+}
+
+// Fig3a clusters the /32s of UDP/53 responders — the population whose
+// low-entropy fingerprints make probabilistic DNS scanning easy (§4.1).
+func (l *Lab) Fig3a() *Report {
+	l.ensureScanClean()
+	r := &Report{ID: "Fig 3a", Title: "Entropy clustering of /32s with UDP/53 responders, F9-32"}
+	dns := l.scanClean.Responsive(wire.UDP53)
+	min := l.groupMin() / 2
+	if min < 10 {
+		min = 10
+	}
+	groups := entropy.ByPrefixLen(dns, 32, min, 9, 32)
+	r.addf("UDP/53 responsive addresses: %d", len(dns))
+	clusteringReport(r, groups, 9)
+	return r
+}
+
+// Fig3b colors BGP prefixes by their entropy cluster (unsized zesplot)
+// and reports how homogeneous the coloring is per AS — the paper's
+// observation that equally sized prefixes of one AS share a scheme.
+func (l *Lab) Fig3b() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Fig 3b", Title: "BGP prefixes colored by F9-32 cluster (unsized zesplot)"}
+	groups := entropy.ByBGPPrefix(l.P.Hitlist().Sorted(), l.P.World.Table, l.groupMin(), 9, 32)
+	res, groups := clusteringReport(r, groups, 9)
+	if res.K == 0 {
+		return r
+	}
+	// Homogeneity: share of multi-prefix ASes whose prefixes all landed
+	// in one cluster.
+	perAS := map[uint32]map[int]bool{}
+	for i, g := range groups {
+		asn := uint32(g.ASN)
+		if perAS[asn] == nil {
+			perAS[asn] = map[int]bool{}
+		}
+		perAS[asn][res.Assign[i]] = true
+	}
+	multi, uniform := 0, 0
+	for _, cs := range perAS {
+		if len(cs) >= 1 {
+			multi++
+			if len(cs) == 1 {
+				uniform++
+			}
+		}
+	}
+	r.addf("ASes with clustered prefixes: %d; single-scheme ASes: %d (%.0f%%)",
+		multi, uniform, 100*float64(uniform)/float64(maxInt(multi, 1)))
+	items := make([]zesplot.Item, len(groups))
+	for i, g := range groups {
+		items[i] = zesplot.Item{Prefix: g.Prefix, ASN: g.ASN, Value: float64(res.Assign[i] + 1)}
+	}
+	rects := zesplot.Layout(items, zesplot.Options{Sized: false})
+	r.addf("unsized zesplot rectangles: %d", len(rects))
+	return r
+}

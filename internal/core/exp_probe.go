@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"expanse/internal/ip6"
+	"expanse/internal/stats"
+	"expanse/internal/wire"
+	"expanse/internal/zesplot"
+)
+
+// Fig6 reproduces the response zesplot: non-aliased ICMP-responsive
+// addresses per announced BGP prefix.
+func (l *Lab) Fig6() *Report {
+	l.ensureScanClean()
+	r := &Report{ID: "Fig 6", Title: "ICMP-responsive addresses per BGP prefix (curated hitlist)"}
+	icmp := l.scanClean.Responsive(wire.ICMPv6)
+	counts, covered := l.prefixCounts(icmp)
+	anns := l.P.World.Table.NumPrefixes()
+	asSet := map[uint32]bool{}
+	for _, a := range icmp {
+		if asn, ok := l.P.World.Table.Origin(a); ok {
+			asSet[uint32(asn)] = true
+		}
+	}
+	r.addf("responsive addresses (ICMP): %d", len(icmp))
+	r.addf("responsive (any protocol):   %d of %d targets", len(l.scanClean.AnyResponsive()), len(l.scanClean.Addrs))
+	r.addf("BGP prefixes with responses: %d of %d announced", covered, anns)
+	r.addf("ASes with responses:         %d", len(asSet))
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	r.addf("max responses in one prefix: %d", max)
+	return r
+}
+
+// Fig6SVG returns the Figure 6 zesplot SVG.
+func (l *Lab) Fig6SVG() string {
+	l.ensureScanClean()
+	counts, _ := l.prefixCounts(l.scanClean.Responsive(wire.ICMPv6))
+	items := l.allPrefixItems(counts)
+	return zesplot.SVG(items, zesplot.Options{Sized: false, Title: "Fig 6: ICMP responses per BGP prefix"})
+}
+
+// Fig7 reproduces the conditional cross-protocol responsiveness matrix
+// P(Y responds | X responds).
+func (l *Lab) Fig7() *Report {
+	l.ensureScanClean()
+	r := &Report{ID: "Fig 7", Title: "Conditional probability of cross-protocol responsiveness"}
+	names := make([]string, 0, wire.NumProtos)
+	for _, p := range wire.Protos {
+		names = append(names, p.String())
+	}
+	m := stats.NewCondMatrix(names)
+	for _, mask := range l.scanClean.Masks {
+		if mask.Any() {
+			m.Observe(mask.Vector())
+		}
+	}
+	header := fmt.Sprintf("%-8s", "Y\\X")
+	for _, n := range names {
+		header += fmt.Sprintf(" %6s", n)
+	}
+	r.Lines = append(r.Lines, header)
+	r.Lines = append(r.Lines, m.Rows()...)
+	r.addf("P(ICMP|TCP/80) = %.2f (the paper: >= 0.89 for all X)", m.P("ICMP", "TCP/80"))
+	r.addf("P(TCP/80|UDP/443) = %.2f (QUIC servers are web servers)", m.P("TCP/80", "UDP/443"))
+	return r
+}
+
+// Fig8 reproduces the longitudinal responsiveness study: for each source
+// (with CT and AXFR split by QUIC), the fraction of day-0 responders
+// still responding on each of 14 days.
+func (l *Lab) Fig8() *Report {
+	l.ensureLongitudinal()
+	r := &Report{ID: "Fig 8", Title: "Responsiveness over time by source (baseline day 0)"}
+	order := []string{
+		"DL", "FDNS", "CT\\QUIC", "CT QUIC", "AXFR\\QUIC", "AXFR QUIC",
+		"Bitnodes", "RIPE Atlas", "Scamper",
+	}
+	for _, name := range order {
+		series, ok := l.longitudinal[name]
+		if !ok {
+			continue
+		}
+		line := fmt.Sprintf("%-11s", name)
+		for _, v := range series {
+			line += fmt.Sprintf(" %4.2f", v)
+		}
+		r.Lines = append(r.Lines, line)
+	}
+	return r
+}
+
+// ensureLongitudinal probes each source's day-0 responders daily for 14
+// days, as in §6.3: stable sources (DL, FDNS, Atlas) barely decay, while
+// client/CPE sources (Bitnodes, Scamper) lose a fifth to a third.
+func (l *Lab) ensureLongitudinal() {
+	if l.longitudinal != nil {
+		return
+	}
+	l.ensureScanClean()
+	l.longitudinal = map[string][]float64{}
+	day0 := l.measureDay()
+	masks := l.scanClean.maskIndex()
+
+	type row struct {
+		label    string
+		baseline []ip6.Addr
+		proto    wire.Proto // the protocol tracked; -1 = any
+		any      bool
+	}
+	var rows []row
+	srcLabel := map[string]string{
+		"Domainlists": "DL", "FDNS": "FDNS", "Bitnodes": "Bitnodes",
+		"RIPE Atlas": "RIPE Atlas", "Scamper": "Scamper",
+	}
+	for _, src := range l.sourceNames() {
+		set := l.P.Store.PerSource(src)
+		var anyBase, quicBase []ip6.Addr
+		set.Each(func(a ip6.Addr) bool {
+			m, ok := masks[a]
+			if !ok {
+				return true
+			}
+			if m.Any() {
+				anyBase = append(anyBase, a)
+			}
+			if m.Has(wire.UDP443) {
+				quicBase = append(quicBase, a)
+			}
+			return true
+		})
+		switch src {
+		case "CT", "AXFR":
+			rows = append(rows,
+				row{label: src + "\\QUIC", baseline: anyBase, any: true},
+				row{label: src + " QUIC", baseline: quicBase, proto: wire.UDP443})
+		default:
+			rows = append(rows, row{label: srcLabel[src], baseline: anyBase, any: true})
+		}
+	}
+
+	const days = 14
+	for _, rw := range rows {
+		if len(rw.baseline) == 0 {
+			continue
+		}
+		series := make([]float64, 0, days)
+		for d := 0; d < days; d++ {
+			scan := l.P.Sweep(rw.baseline, day0+d)
+			n := 0
+			for _, m := range scan.Masks {
+				if (rw.any && m.Any()) || (!rw.any && m.Has(rw.proto)) {
+					n++
+				}
+			}
+			series = append(series, float64(n)/float64(len(rw.baseline)))
+		}
+		l.longitudinal[rw.label] = series
+	}
+}

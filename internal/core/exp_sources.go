@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/stats"
+	"expanse/internal/zesplot"
+)
+
+// Table1 reproduces the prior-work comparison: the static rows are the
+// published numbers of the four previous studies; the "This work" row is
+// measured from the pipeline.
+func (l *Lab) Table1() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Table 1", Title: "Comparison with previous work"}
+	r.addf("%-22s %10s %8s %8s  %3s %5s %4s", "Work", "#publ.", "#pfx.", "#ASes", "Cts", "Prob.", "APD")
+	r.addf("%-22s %10s %8s %8s  %3s %5s %4s", "Gasser et al. [36]", "2.7M", "5.8k", "8.6k", "y", "y", "n")
+	r.addf("%-22s %10s %8s %8s  %3s %5s %4s", "Foremski et al. [33]", "620k", "<100", "<100", "y", "y", "n")
+	r.addf("%-22s %10s %8s %8s  %3s %5s %4s", "Fiebig et al. [29]", "2.8M", "n/a", "n/a", "y", "n", "n")
+	r.addf("%-22s %10s %8s %8s  %3s %5s %4s", "Murdock et al. [56]", "1.0M", "2.8k", "2.4k", "y", "y", "~")
+	tot := l.P.Store.TotalStat(l.P.World.Table)
+	r.addf("%-22s %10d %8d %8d  %3s %5s %4s", "This work (measured)", tot.IPs, tot.Prefixes, tot.ASes, "y", "y", "y")
+	return r
+}
+
+// Table2 reproduces the hitlist-source overview.
+func (l *Lab) Table2() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Table 2", Title: "Overview of hitlist sources"}
+	r.addf("%-12s %9s %9s %7s %7s  %s", "Name", "IPs", "new IPs", "#ASes", "#PFXes", "Top-3 ASes")
+	rows := l.P.Store.Stats(l.P.World.Table)
+	rows = append(rows, l.P.Store.TotalStat(l.P.World.Table))
+	for _, s := range rows {
+		top := ""
+		for _, ts := range s.TopAS {
+			top += fmt.Sprintf(" %s=%.1f%%", ts.Name, ts.Share*100)
+		}
+		r.addf("%-12s %9d %9d %7d %7d %s", s.Name, s.IPs, s.NewIPs, s.ASes, s.Prefixes, top)
+	}
+	return r
+}
+
+// Fig1a reproduces the cumulative source runup.
+func (l *Lab) Fig1a() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Fig 1a", Title: "Cumulative runup of IPv6 addresses per source"}
+	runup := l.P.Store.Runup()
+	names := l.sourceNames()
+	r.Lines = append(r.Lines, fmt.Sprintf("%-6s%s %12s", "day", joinPadded(names, 12), "total"))
+	for _, pt := range runup {
+		line := fmt.Sprintf("%-6d", pt.Day)
+		for _, n := range names {
+			line += fmt.Sprintf(" %11d", pt.Cumulative[n])
+		}
+		line += fmt.Sprintf(" %12d", pt.Total)
+		r.Lines = append(r.Lines, line)
+	}
+	if len(runup) >= 2 {
+		first, last := runup[0].Total, runup[len(runup)-1].Total
+		r.addf("growth factor over the period: %.1fx", float64(last)/float64(maxInt(first, 1)))
+	}
+	return r
+}
+
+// Fig1b reproduces the per-source AS-distribution CDFs: the fraction of
+// each source's addresses inside its top-X ASes.
+func (l *Lab) Fig1b() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Fig 1b", Title: "AS distribution per source (fraction in top-X ASes)"}
+	points := stats.LogPoints(1000)
+	header := fmt.Sprintf("%-12s", "source")
+	for _, x := range points {
+		header += fmt.Sprintf(" %6d", x)
+	}
+	r.Lines = append(r.Lines, header)
+	for _, name := range l.sourceNames() {
+		conc := l.sourceConcentration(name, true)
+		line := fmt.Sprintf("%-12s", name)
+		for _, f := range conc.Curve(points) {
+			line += fmt.Sprintf(" %6.3f", f)
+		}
+		line += fmt.Sprintf("   (gini %.2f)", conc.Gini())
+		r.Lines = append(r.Lines, line)
+	}
+	return r
+}
+
+// Fig1c renders the zesplot of hitlist addresses over BGP prefixes and
+// reports summary statistics; the SVG itself is written by cmd/zesplot.
+func (l *Lab) Fig1c() *Report {
+	l.ensureCollected()
+	r := &Report{ID: "Fig 1c", Title: "Hitlist addresses mapped to BGP prefixes (zesplot)"}
+	counts, covered := l.prefixCounts(l.P.Hitlist().Sorted())
+	items := l.allPrefixItems(counts)
+	rects := zesplot.Layout(items, zesplot.Options{Sized: true})
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	r.addf("announced prefixes plotted: %d", len(rects))
+	r.addf("prefixes with hitlist addresses: %d (%.1f%%)", covered, 100*float64(covered)/float64(maxInt(len(items), 1)))
+	r.addf("max addresses in one prefix: %d", max)
+	return r
+}
+
+// Fig1cSVG returns the actual SVG document for Figure 1c.
+func (l *Lab) Fig1cSVG() string {
+	l.ensureCollected()
+	counts, _ := l.prefixCounts(l.P.Hitlist().Sorted())
+	items := l.allPrefixItems(counts)
+	return zesplot.SVG(items, zesplot.Options{Sized: true, Title: "Fig 1c: hitlist addresses per BGP prefix"})
+}
+
+// prefixCounts maps addresses onto their announced prefixes.
+func (l *Lab) prefixCounts(addrs []ip6.Addr) (map[ip6.Prefix]int, int) {
+	counts := map[ip6.Prefix]int{}
+	for _, a := range addrs {
+		if p, _, ok := l.P.World.Table.Lookup(a); ok {
+			counts[p]++
+		}
+	}
+	return counts, len(counts)
+}
+
+// allPrefixItems builds zesplot items for every announced prefix with
+// the given counts (zero-count prefixes render white).
+func (l *Lab) allPrefixItems(counts map[ip6.Prefix]int) []zesplot.Item {
+	anns := l.P.World.Table.Announcements()
+	items := make([]zesplot.Item, 0, len(anns))
+	for _, ann := range anns {
+		items = append(items, zesplot.Item{
+			Prefix: ann.Prefix, ASN: ann.Origin, Value: float64(counts[ann.Prefix]),
+		})
+	}
+	return items
+}
+
+func (l *Lab) sourceNames() []string {
+	return []string{"Domainlists", "FDNS", "CT", "AXFR", "Bitnodes", "RIPE Atlas", "Scamper"}
+}
+
+// sourceConcentration builds the AS (or prefix) concentration of one
+// source's accumulated addresses.
+func (l *Lab) sourceConcentration(name string, byAS bool) *stats.Concentration {
+	set := l.P.Store.PerSource(name)
+	asCounts := map[bgp.ASN]int{}
+	pfxCounts := map[ip6.Prefix]int{}
+	set.Each(func(a ip6.Addr) bool {
+		if p, asn, ok := l.P.World.Table.Lookup(a); ok {
+			asCounts[asn]++
+			pfxCounts[p]++
+		}
+		return true
+	})
+	if byAS {
+		return stats.NewConcentration(asCounts)
+	}
+	return stats.NewConcentration(pfxCounts)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s
+}
+
+func joinPadded(ss []string, w int) string {
+	out := ""
+	for _, s := range ss {
+		out += pad(s, w)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// Report is the uniform output of every reproduced experiment: an
+// identifier matching the paper's table/figure numbering, a title, and
+// preformatted result lines.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Lab caches the expensive pipeline stages shared between experiments so
+// the whole suite runs each stage exactly once (collection, APD, the
+// daily sweeps, the generation study, …).
+type Lab struct {
+	P *Pipeline
+
+	collected bool
+	apdDays   int // number of APD days run so far
+
+	scanFull  *Scan // day-0 sweep over the FULL hitlist (pre-APD view)
+	scanClean *Scan // day-0 sweep over non-aliased targets (the curated view)
+
+	longitudinal map[string][]float64 // Fig 8 series, keyed by row label
+
+	genStudy  *genStudyState
+	rdnsStudy *rdnsState
+	crowd     *crowdState
+}
+
+// NewLab builds a lab over a fresh pipeline.
+func NewLab(cfg Config) *Lab {
+	return &Lab{P: New(cfg)}
+}
+
+// measureDay returns the first day after collection (the paper's
+// "May 11" snapshot).
+func (l *Lab) measureDay() int { return l.P.World.Horizon() }
+
+func (l *Lab) ensureCollected() {
+	if l.collected {
+		return
+	}
+	l.P.Collect()
+	l.collected = true
+}
+
+// ensureAPD runs APD for enough days to fill the sliding window and set
+// the filter.
+func (l *Lab) ensureAPD() {
+	l.ensureCollected()
+	l.ensureAPDDays(l.P.Cfg.APDWindow + 1)
+}
+
+// ensureAPDDays extends the APD history to at least n days.
+func (l *Lab) ensureAPDDays(n int) {
+	l.ensureCollected()
+	for ; l.apdDays < n; l.apdDays++ {
+		l.P.RunAPD(l.measureDay() + l.apdDays)
+	}
+}
+
+// ensureScanFull sweeps the complete hitlist once (the pre-APD view that
+// Figure 5a needs).
+func (l *Lab) ensureScanFull() {
+	l.ensureCollected()
+	if l.scanFull == nil {
+		l.scanFull = l.P.Sweep(l.P.Hitlist().Sorted(), l.measureDay())
+	}
+}
+
+// ensureScanClean sweeps the curated (non-aliased) targets.
+func (l *Lab) ensureScanClean() {
+	l.ensureAPD()
+	if l.scanClean == nil {
+		l.scanClean = l.P.Sweep(l.P.CleanTargets(), l.measureDay())
+	}
+}
+
+// maskOf returns the day-0 clean-scan mask for an address.
+func (s *Scan) maskIndex() map[ip6.Addr]wire.RespMask {
+	m := make(map[ip6.Addr]wire.RespMask, len(s.Addrs))
+	for i, a := range s.Addrs {
+		m[a] = s.Masks[i]
+	}
+	return m
+}
+
+// groupMin adapts the paper's ≥100-address group threshold to the
+// simulation scale so the clustering experiments keep enough groups.
+func (l *Lab) groupMin() int {
+	min := int(100 * l.P.Cfg.Sim.Scale)
+	if min < 20 {
+		min = 20
+	}
+	return min
+}

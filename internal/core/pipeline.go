@@ -1,0 +1,223 @@
+// Package core is the public face of the library: the daily IPv6 hitlist
+// pipeline of §6 (collect → preprocess → aliased-prefix detection →
+// traceroute → probe → curate) and the Lab, which reproduces every table
+// and figure of the paper on top of the pipeline.
+//
+// The pipeline mirrors the paper's architecture:
+//
+//  1. collect addresses from the seven sources (internal/sources),
+//  2. preprocess, merge and deduplicate them (the accumulating store),
+//  3. detect aliased prefixes with multi-level APD and a 3-day sliding
+//     window (internal/apd),
+//  4. traceroute all known addresses (the scamper source),
+//  5. probe responsiveness with the ZMapv6-style scanner on ICMPv6,
+//     TCP/80, TCP/443, UDP/53 and UDP/443 (internal/probe).
+package core
+
+import (
+	"expanse/internal/apd"
+	"expanse/internal/dnssim"
+	"expanse/internal/ip6"
+	"expanse/internal/netsim"
+	"expanse/internal/probe"
+	"expanse/internal/sources"
+	"expanse/internal/wire"
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Sim configures the simulated Internet (the measurement target).
+	Sim netsim.Config
+	// APDWindow is the sliding-window length in days (§5.2; default 3).
+	APDWindow int
+	// MinTargets is the APD candidate threshold (§5.1; default 100).
+	MinTargets int
+	// Workers is the prober concurrency (default 8).
+	Workers int
+}
+
+// DefaultConfig returns the paper-faithful configuration at default
+// simulation scale.
+func DefaultConfig() Config {
+	return Config{Sim: netsim.DefaultConfig(), APDWindow: 3, MinTargets: 100, Workers: 8}
+}
+
+// TestConfig returns a small fast configuration for tests and examples.
+func TestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sim.Scale = 0.08
+	cfg.Sim.Registry.ASes = 250
+	return cfg
+}
+
+// Pipeline is the assembled system.
+type Pipeline struct {
+	Cfg   Config
+	World *netsim.Internet
+	DNS   *dnssim.Server
+	Store *sources.Store
+
+	scanner  *probe.Scanner
+	detector *apd.Detector
+
+	// APD state.
+	candidates []apd.Candidate
+	hist       apd.History
+	filter     *apd.Filter
+	verdicts   map[ip6.Prefix]bool
+}
+
+// New builds the world, the DNS view, and the collectors.
+func New(cfg Config) *Pipeline {
+	if cfg.APDWindow <= 0 {
+		cfg.APDWindow = 3
+	}
+	if cfg.MinTargets <= 0 {
+		cfg.MinTargets = 100
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	world := netsim.New(cfg.Sim)
+	dns := dnssim.New(world)
+	st := sources.NewStore(
+		sources.NewDL(dns, cfg.Sim),
+		sources.NewFDNS(dns, cfg.Sim),
+		sources.NewCT(dns, cfg.Sim),
+		sources.NewAXFR(dns, cfg.Sim),
+		sources.NewBitnodes(world),
+		sources.NewAtlas(world),
+		sources.NewScamper(world),
+	)
+	return &Pipeline{
+		Cfg:      cfg,
+		World:    world,
+		DNS:      dns,
+		Store:    st,
+		scanner:  probe.New(world, probe.WithWorkers(cfg.Workers), probe.WithSeed(uint64(cfg.Sim.Seed))),
+		detector: apd.NewDetector(world),
+	}
+}
+
+// Collect runs every collection epoch, building the full hitlist (§3).
+func (p *Pipeline) Collect() {
+	for e := 0; e < p.Cfg.Sim.Epochs; e++ {
+		p.Store.CollectDay(e * p.Cfg.Sim.EpochDays)
+	}
+}
+
+// Hitlist returns the accumulated hitlist.
+func (p *Pipeline) Hitlist() *ip6.Set { return p.Store.All() }
+
+// RunAPD performs the day's aliased prefix detection. On the first call
+// it derives the candidate set (hitlist multi-level mapping plus all
+// BGP-announced prefixes); later calls re-probe only prefixes that were
+// close to aliased before — full re-derivation daily would be probe-for-
+// probe identical in the simulator but pointlessly slow (see DESIGN.md).
+func (p *Pipeline) RunAPD(day int) {
+	if p.candidates == nil {
+		p.candidates = apd.HitlistCandidates(p.Hitlist().Sorted(), p.Cfg.MinTargets)
+		p.candidates = append(p.candidates, apd.BGPCandidates(p.World.Table)...)
+	} else if p.hist.Len() > 0 {
+		// Narrow to near-aliased prefixes (mask ≥ 12 on any prior day).
+		narrow := p.candidates[:0:0]
+		for _, c := range p.candidates {
+			keep := false
+			for di := 0; di < p.hist.Len(); di++ {
+				if p.hist.MergedAt(c.Prefix, di, p.hist.Len()).Count() >= 12 {
+					keep = true
+					break
+				}
+			}
+			if keep {
+				narrow = append(narrow, c)
+			}
+		}
+		p.candidates = narrow
+	}
+	p.hist.Add(p.detector.ProbeDay(p.candidates, day))
+	di := p.hist.Len() - 1
+	p.verdicts = make(map[ip6.Prefix]bool, len(p.candidates))
+	for _, c := range p.candidates {
+		p.verdicts[c.Prefix] = p.hist.MergedAt(c.Prefix, di, p.Cfg.APDWindow) == apd.AllBranches
+	}
+	p.filter = apd.NewFilter(p.verdicts)
+}
+
+// Filter returns the current alias filter (nil before RunAPD).
+func (p *Pipeline) Filter() *apd.Filter { return p.filter }
+
+// Verdicts returns the current per-prefix aliased verdicts.
+func (p *Pipeline) Verdicts() map[ip6.Prefix]bool { return p.verdicts }
+
+// Candidates returns the APD candidate set.
+func (p *Pipeline) Candidates() []apd.Candidate { return p.candidates }
+
+// History exposes the APD observation history.
+func (p *Pipeline) History() *apd.History { return &p.hist }
+
+// APDProbesSent reports probe packets spent on APD so far.
+func (p *Pipeline) APDProbesSent() int { return p.detector.ProbesSent }
+
+// Scan is one day's responsiveness measurement over the given targets.
+type Scan struct {
+	Day   int
+	Addrs []ip6.Addr
+	Masks []wire.RespMask
+}
+
+// Responsive returns the addresses that answered on the given protocol
+// (any protocol if p < 0).
+func (s *Scan) Responsive(p wire.Proto) []ip6.Addr {
+	var out []ip6.Addr
+	for i, m := range s.Masks {
+		if m.Has(p) {
+			out = append(out, s.Addrs[i])
+		}
+	}
+	return out
+}
+
+// AnyResponsive returns addresses that answered at least one protocol.
+func (s *Scan) AnyResponsive() []ip6.Addr {
+	var out []ip6.Addr
+	for i, m := range s.Masks {
+		if m.Any() {
+			out = append(out, s.Addrs[i])
+		}
+	}
+	return out
+}
+
+// Count returns how many targets answered on the protocol.
+func (s *Scan) Count(p wire.Proto) int {
+	n := 0
+	for _, m := range s.Masks {
+		if m.Has(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sweep probes the targets on all five protocols for one day (§6).
+func (p *Pipeline) Sweep(targets []ip6.Addr, day int) *Scan {
+	return &Scan{Day: day, Addrs: targets, Masks: p.scanner.Sweep(targets, day)}
+}
+
+// ScanOne probes the targets on a single protocol.
+func (p *Pipeline) ScanOne(targets []ip6.Addr, proto wire.Proto, day int) []probe.Result {
+	return p.scanner.Scan(targets, proto, day)
+}
+
+// ProbePairs sends the §5.4 fingerprinting probe pairs.
+func (p *Pipeline) ProbePairs(targets []ip6.Addr, day int) []probe.Pair {
+	return p.scanner.ProbePairs(targets, wire.TCP80, day)
+}
+
+// CleanTargets returns the hitlist minus aliased addresses (requires a
+// prior RunAPD), sorted.
+func (p *Pipeline) CleanTargets() []ip6.Addr {
+	clean, _ := p.filter.Split(p.Hitlist().Sorted())
+	return clean
+}

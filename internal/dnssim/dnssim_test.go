@@ -1,0 +1,180 @@
+package dnssim
+
+import (
+	"strings"
+	"testing"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/netsim"
+)
+
+func testWorld() *netsim.Internet {
+	return netsim.New(netsim.Config{
+		Seed:      42,
+		Registry:  bgp.RegistryConfig{ASes: 250, PrefixesPerAS: 3.5, Seed: 7},
+		Scale:     0.08,
+		EpochDays: 7,
+		Epochs:    6,
+	})
+}
+
+var world = testWorld()
+var server = New(world)
+
+func TestDomainsBuilt(t *testing.T) {
+	doms := server.Domains()
+	if len(doms) == 0 {
+		t.Fatal("no domains")
+	}
+	classes := map[string]int{}
+	for _, d := range doms {
+		switch {
+		case strings.HasPrefix(d.Name, "host"):
+			classes["farm"]++
+		case strings.HasPrefix(d.Name, "cust"):
+			classes["alias"]++
+		case strings.HasPrefix(d.Name, "old"):
+			classes["stale"]++
+		case strings.HasPrefix(d.Name, "nas-"):
+			classes["nas"]++
+		}
+	}
+	for _, c := range []string{"farm", "alias", "stale", "nas"} {
+		if classes[c] == 0 {
+			t.Errorf("no %s domains", c)
+		}
+	}
+}
+
+func TestStaticResolution(t *testing.T) {
+	for _, d := range server.Domains() {
+		if d.Dynamic() {
+			continue
+		}
+		if d.Resolve(0) != d.Resolve(30) {
+			t.Fatalf("static domain %s changed resolution", d.Name)
+		}
+		if d.Resolve(0).IsZero() {
+			t.Fatalf("static domain %s resolves to ::", d.Name)
+		}
+		return
+	}
+	t.Fatal("no static domains")
+}
+
+func TestDynamicResolutionFollowsRotation(t *testing.T) {
+	changed := false
+	for _, d := range server.Domains() {
+		if !d.Dynamic() {
+			continue
+		}
+		if d.Resolve(0) != d.Resolve(45) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("no dynamic domain ever changed address over 45 days")
+	}
+}
+
+func TestVisibilityChannels(t *testing.T) {
+	counts := map[Vis]int{}
+	for _, d := range server.Domains() {
+		for _, v := range []Vis{VisZoneFile, VisCT, VisFDNS, VisAXFR, VisBlacklist} {
+			if d.Vis.Has(v) {
+				counts[v]++
+			}
+		}
+	}
+	for _, v := range []Vis{VisZoneFile, VisCT, VisFDNS, VisAXFR, VisBlacklist} {
+		if counts[v] == 0 {
+			t.Errorf("no domains visible to channel %b", v)
+		}
+	}
+	// NAS (dyndns) domains should be FDNS-dominated.
+	nasFDNS, nasTotal := 0, 0
+	for _, d := range server.Domains() {
+		if strings.HasPrefix(d.Name, "nas-") {
+			nasTotal++
+			if d.Vis.Has(VisFDNS) {
+				nasFDNS++
+			}
+		}
+	}
+	if nasTotal > 20 && float64(nasFDNS)/float64(nasTotal) < 0.5 {
+		t.Errorf("NAS FDNS share = %d/%d, want dominant", nasFDNS, nasTotal)
+	}
+}
+
+func TestReverseName(t *testing.T) {
+	a := ip6.MustParseAddr("2001:db8::1")
+	got := ReverseName(a)
+	want := "1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2.ip6.arpa."
+	if got != want {
+		t.Errorf("ReverseName = %q, want %q", got, want)
+	}
+}
+
+func TestRTreeQueries(t *testing.T) {
+	addrs := []ip6.Addr{
+		ip6.MustParseAddr("2001:db8::1"),
+		ip6.MustParseAddr("2001:db8::2"),
+		ip6.MustParseAddr("2001:dead:beef::5"),
+	}
+	tr := NewRTree(addrs)
+	// Root is an empty non-terminal.
+	if rc := tr.Query(nil); rc != NoErrorEmpty {
+		t.Errorf("root rcode = %v", rc)
+	}
+	// The 2001: branch exists.
+	if rc := tr.Query([]byte{2, 0, 0, 1}); rc != NoErrorEmpty {
+		t.Errorf("2001 branch rcode = %v", rc)
+	}
+	// A dead branch is NXDOMAIN.
+	if rc := tr.Query([]byte{3}); rc != NXDomain {
+		t.Errorf("dead branch rcode = %v", rc)
+	}
+	// Full paths hit PTRs.
+	full := addrs[0].Nybbles()
+	if rc := tr.Query(full[:]); rc != HasPTR {
+		t.Errorf("full path rcode = %v", rc)
+	}
+	// Full path without PTR is NXDOMAIN.
+	other := ip6.MustParseAddr("2001:db8::3").Nybbles()
+	if rc := tr.Query(other[:]); rc != NXDomain {
+		t.Errorf("missing PTR rcode = %v", rc)
+	}
+	// Invalid digit.
+	if rc := tr.Query([]byte{99}); rc != NXDomain {
+		t.Errorf("invalid digit rcode = %v", rc)
+	}
+	if tr.Queries() != 6 {
+		t.Errorf("query count = %d", tr.Queries())
+	}
+	tr.ResetQueries()
+	if tr.Queries() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRTreeWorldPopulation(t *testing.T) {
+	tr := server.Reverse()
+	// Every world rDNS address must be reachable.
+	for i, a := range world.RDNSAddrs() {
+		if i >= 50 {
+			break
+		}
+		n := a.Nybbles()
+		if rc := tr.Query(n[:]); rc != HasPTR {
+			t.Fatalf("rDNS address %v not in tree", a)
+		}
+	}
+}
+
+func TestVisDeterministic(t *testing.T) {
+	if visFor("host1.as5.example.", "farm") != visFor("host1.as5.example.", "farm") {
+		t.Error("visibility not deterministic")
+	}
+}

@@ -1,0 +1,206 @@
+package eip
+
+import (
+	"math/rand"
+	"testing"
+
+	"expanse/internal/ip6"
+)
+
+// counterSeeds builds a classic low-nybble-counter scheme: hosts ::1..::N
+// in a couple of /64s.
+func counterSeeds(n int) []ip6.Addr {
+	var out []ip6.Addr
+	nets := []ip6.Addr{
+		ip6.MustParseAddr("2001:db8:100:1::"),
+		ip6.MustParseAddr("2001:db8:100:2::"),
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, ip6.AddrFromUint64(nets[i%2].Hi(), uint64(i/2)+1))
+	}
+	return out
+}
+
+func TestBuildSegments(t *testing.T) {
+	m := Build(counterSeeds(200))
+	if len(m.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	// Segments must tile nybbles 0..31 without gaps.
+	pos := 0
+	for _, s := range m.Segments {
+		if s.Start != pos || s.End < s.Start {
+			t.Fatalf("segment tiling broken: %+v at pos %d", s, pos)
+		}
+		if s.End-s.Start+1 > maxSegmentLen {
+			t.Fatalf("segment too wide: %+v", s)
+		}
+		pos = s.End + 1
+	}
+	if pos != 32 {
+		t.Fatalf("segments end at %d", pos)
+	}
+	// Values exist for every segment and probabilities sum to ~1.
+	for si, vals := range m.Values {
+		if len(vals) == 0 {
+			t.Fatalf("segment %d has no values", si)
+		}
+		sum := 0.0
+		for i, v := range vals {
+			sum += v.P
+			if i > 0 && vals[i-1].P < v.P {
+				t.Fatalf("segment %d values not sorted by P", si)
+			}
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("segment %d P sum = %v", si, sum)
+		}
+	}
+}
+
+func TestGenerateLearnsCounterScheme(t *testing.T) {
+	// Train on hosts 1..100 per subnet; generation should propose other
+	// low IIDs in the SAME subnets (the neighboring unseen addresses).
+	seeds := counterSeeds(200)
+	m := Build(seeds)
+	gen := m.Generate(500)
+	if len(gen) == 0 {
+		t.Fatal("nothing generated")
+	}
+	seedSet := map[ip6.Addr]bool{}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	inNets := 0
+	for _, a := range gen {
+		if seedSet[a] {
+			t.Fatalf("generated a seed address: %v", a)
+		}
+		hi := a.Hi()
+		if hi == ip6.MustParseAddr("2001:db8:100:1::").Hi() || hi == ip6.MustParseAddr("2001:db8:100:2::").Hi() {
+			inNets++
+		}
+	}
+	if float64(inNets)/float64(len(gen)) < 0.9 {
+		t.Errorf("only %d/%d generated addresses in the seed networks", inNets, len(gen))
+	}
+}
+
+func TestGenerateUniqueAndBudget(t *testing.T) {
+	m := Build(counterSeeds(150))
+	gen := m.Generate(100)
+	if len(gen) > 100 {
+		t.Fatalf("budget exceeded: %d", len(gen))
+	}
+	seen := map[ip6.Addr]bool{}
+	for _, a := range gen {
+		if seen[a] {
+			t.Fatalf("duplicate generated: %v", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestGenerateCrossProduct(t *testing.T) {
+	// The model generalizes by recombining segment values: a subnet that
+	// only used IIDs 1..15 should get proposed the IIDs its sibling
+	// subnet demonstrated (16..150) — that is how Entropy/IP finds new
+	// addresses at all.
+	var seeds []ip6.Addr
+	popular := ip6.MustParseAddr("2001:db8:a::")
+	rare := ip6.MustParseAddr("2001:db8:b::")
+	for i := uint64(1); i <= 150; i++ {
+		seeds = append(seeds, ip6.AddrFromUint64(popular.Hi(), i))
+	}
+	for i := uint64(1); i <= 15; i++ {
+		seeds = append(seeds, ip6.AddrFromUint64(rare.Hi(), i))
+	}
+	m := Build(seeds)
+	gen := m.Generate(60)
+	if len(gen) == 0 {
+		t.Fatal("nothing generated")
+	}
+	rareNew := 0
+	for _, a := range gen {
+		if a.Hi() == rare.Hi() && a.Lo() > 15 {
+			rareNew++
+		}
+	}
+	if rareNew < len(gen)/2 {
+		t.Errorf("only %d/%d candidates recombine rare subnet with popular IIDs", rareNew, len(gen))
+	}
+}
+
+func TestRandomGenerateBaseline(t *testing.T) {
+	m := Build(counterSeeds(200))
+	gen := m.RandomGenerate(100, 7)
+	if len(gen) == 0 {
+		t.Fatal("random generator produced nothing")
+	}
+	seen := map[ip6.Addr]bool{}
+	for _, a := range gen {
+		if seen[a] {
+			t.Fatal("duplicate from random generator")
+		}
+		seen[a] = true
+	}
+	// Determinism.
+	gen2 := m.RandomGenerate(100, 7)
+	if len(gen) != len(gen2) {
+		t.Fatal("random generation not deterministic")
+	}
+	for i := range gen {
+		if gen[i] != gen2[i] {
+			t.Fatal("random generation not deterministic")
+		}
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	if m := Build(nil); len(m.Segments) != 0 || m.Generate(10) != nil {
+		t.Error("empty build should not generate")
+	}
+	// Single seed: model exists; generation may be empty (everything is
+	// a seed) but must not panic.
+	m := Build([]ip6.Addr{ip6.MustParseAddr("2001:db8::1")})
+	if g := m.Generate(10); len(g) > 10 {
+		t.Error("budget exceeded")
+	}
+}
+
+func TestSLAACSeedsKeepFFFE(t *testing.T) {
+	// Training on SLAAC addresses must generate addresses with ff:fe.
+	var seeds []ip6.Addr
+	rng := rand.New(rand.NewSource(5))
+	net := ip6.MustParseAddr("2001:db8:5::")
+	for i := 0; i < 200; i++ {
+		mac := [6]byte{0x28, 0xfd, 0x80, byte(rng.Intn(4)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+		seeds = append(seeds, ip6.FromMAC(net, mac))
+	}
+	m := Build(seeds)
+	gen := m.Generate(50)
+	if len(gen) == 0 {
+		t.Skip("model memorized all combinations")
+	}
+	for _, a := range gen {
+		if !a.IsSLAAC() {
+			t.Fatalf("generated non-SLAAC address %v from SLAAC seeds", a)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	seeds := counterSeeds(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(seeds)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	m := Build(counterSeeds(2000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Generate(1000)
+	}
+}

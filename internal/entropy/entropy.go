@@ -1,0 +1,177 @@
+// Package entropy implements the paper's entropy-fingerprint analysis
+// (§4): for a set of IPv6 addresses grouped by network, compute the
+// normalized Shannon entropy of every nybble position, producing a
+// fingerprint vector F_ab that characterizes the network's addressing
+// scheme. Clustering these fingerprints (internal/cluster) reveals that
+// the entire hitlist uses just a handful of schemes.
+package entropy
+
+import (
+	"sort"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/stats"
+)
+
+// MinGroupSize is the paper's minimum sample: groups with fewer addresses
+// are skipped (equation (1): n >= 100).
+const MinGroupSize = 100
+
+// Fingerprint computes F_ab for a set of addresses: the normalized
+// entropy of nybbles a..b, 1-based inclusive as in the paper (a=9, b=32
+// is the full-address fingerprint F932 after the /32 network part; a=17,
+// b=32 is the IID fingerprint F1732).
+func Fingerprint(addrs []ip6.Addr, a, b int) []float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b > 32 {
+		b = 32
+	}
+	if b < a {
+		return nil
+	}
+	counts := make([][16]int, b-a+1)
+	for _, addr := range addrs {
+		for j := a; j <= b; j++ {
+			counts[j-a][addr.Nybble(j-1)]++
+		}
+	}
+	fp := make([]float64, b-a+1)
+	for i := range counts {
+		fp[i] = stats.Entropy4(&counts[i])
+	}
+	return fp
+}
+
+// Group is a network (a /32, a BGP prefix, or an AS) with its sampled
+// addresses' fingerprint.
+type Group struct {
+	// Key identifies the network (prefix string or "AS<n>").
+	Key string
+	// Prefix is set for prefix-based grouping (zero for AS grouping).
+	Prefix ip6.Prefix
+	// ASN is set for AS-based grouping (and best-effort otherwise).
+	ASN bgp.ASN
+	// Size is the number of addresses the fingerprint was computed from.
+	Size int
+	// FP is the fingerprint vector.
+	FP []float64
+}
+
+// ByPrefixLen groups addresses by their enclosing fixed-length prefix
+// (the paper's default: /32, "commonly the smallest blocks assigned to
+// IPv6 networks") and fingerprints every group with at least min
+// addresses over nybbles a..b. Groups are returned sorted by size
+// descending, then by prefix.
+func ByPrefixLen(addrs []ip6.Addr, bits, min, a, b int) []Group {
+	if min <= 0 {
+		min = MinGroupSize
+	}
+	buckets := make(map[ip6.Prefix][]ip6.Addr)
+	for _, addr := range addrs {
+		p := ip6.PrefixFrom(addr, bits)
+		buckets[p] = append(buckets[p], addr)
+	}
+	return finish(buckets, nil, min, a, b)
+}
+
+// ByBGPPrefix groups addresses by their announced prefix. Unrouted
+// addresses are skipped.
+func ByBGPPrefix(addrs []ip6.Addr, table *bgp.Table, min, a, b int) []Group {
+	if min <= 0 {
+		min = MinGroupSize
+	}
+	buckets := make(map[ip6.Prefix][]ip6.Addr)
+	origins := make(map[ip6.Prefix]bgp.ASN)
+	for _, addr := range addrs {
+		p, asn, ok := table.Lookup(addr)
+		if !ok {
+			continue
+		}
+		buckets[p] = append(buckets[p], addr)
+		origins[p] = asn
+	}
+	return finish(buckets, origins, min, a, b)
+}
+
+// ByAS groups addresses by origin AS. Unrouted addresses are skipped.
+func ByAS(addrs []ip6.Addr, table *bgp.Table, min, a, b int) []Group {
+	if min <= 0 {
+		min = MinGroupSize
+	}
+	buckets := make(map[bgp.ASN][]ip6.Addr)
+	for _, addr := range addrs {
+		if asn, ok := table.Origin(addr); ok {
+			buckets[asn] = append(buckets[asn], addr)
+		}
+	}
+	var out []Group
+	for asn, list := range buckets {
+		if len(list) < min {
+			continue
+		}
+		out = append(out, Group{
+			Key:  "AS" + itoa(uint64(asn)),
+			ASN:  asn,
+			Size: len(list),
+			FP:   Fingerprint(list, a, b),
+		})
+	}
+	sortGroups(out)
+	return out
+}
+
+func finish(buckets map[ip6.Prefix][]ip6.Addr, origins map[ip6.Prefix]bgp.ASN, min, a, b int) []Group {
+	var out []Group
+	for p, list := range buckets {
+		if len(list) < min {
+			continue
+		}
+		g := Group{
+			Key:    p.String(),
+			Prefix: p,
+			Size:   len(list),
+			FP:     Fingerprint(list, a, b),
+		}
+		if origins != nil {
+			g.ASN = origins[p]
+		}
+		out = append(out, g)
+	}
+	sortGroups(out)
+	return out
+}
+
+func sortGroups(gs []Group) {
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Size != gs[j].Size {
+			return gs[i].Size > gs[j].Size
+		}
+		return gs[i].Key < gs[j].Key
+	})
+}
+
+// Vectors extracts the fingerprint matrix for clustering.
+func Vectors(gs []Group) [][]float64 {
+	out := make([][]float64, len(gs))
+	for i, g := range gs {
+		out[i] = g.FP
+	}
+	return out
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,197 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+)
+
+func TestFingerprintCounterScheme(t *testing.T) {
+	// Counter addresses: only the last nybbles vary.
+	var addrs []ip6.Addr
+	base := ip6.MustParseAddr("2001:db8:1:1::")
+	for i := uint64(0); i < 256; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(base.Hi(), i))
+	}
+	fp := Fingerprint(addrs, 9, 32)
+	if len(fp) != 24 {
+		t.Fatalf("F932 length = %d, want 24", len(fp))
+	}
+	// Nybbles 9..30 constant (entropy 0); nybbles 31-32 (the counter)
+	// close to 1.
+	for i := 0; i < 22; i++ {
+		if fp[i] != 0 {
+			t.Errorf("nybble %d entropy = %v, want 0", i+9, fp[i])
+		}
+	}
+	if fp[22] < 0.9 || fp[23] < 0.9 {
+		t.Errorf("counter nybbles entropy = %v,%v, want ~1", fp[22], fp[23])
+	}
+}
+
+func TestFingerprintRandomScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var addrs []ip6.Addr
+	base := ip6.MustParseAddr("2001:db8:2::")
+	for i := 0; i < 1000; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(base.Hi(), rng.Uint64()))
+	}
+	fp := Fingerprint(addrs, 17, 32)
+	if len(fp) != 16 {
+		t.Fatalf("F1732 length = %d", len(fp))
+	}
+	for i, h := range fp {
+		if h < 0.9 {
+			t.Errorf("random IID nybble %d entropy = %v, want ~1", i+17, h)
+		}
+	}
+}
+
+func TestFingerprintSLAAC(t *testing.T) {
+	// EUI-64 addresses: ff:fe at nybbles 23-26 is constant.
+	var addrs []ip6.Addr
+	net := ip6.MustParseAddr("2001:db8:3::")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		mac := [6]byte{0x28, 0xfd, 0x80, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+		addrs = append(addrs, ip6.FromMAC(net, mac))
+	}
+	fp := Fingerprint(addrs, 17, 32)
+	// Nybbles 23-26 (indices 6..9 in F1732) are ff:fe — constant.
+	for i := 6; i <= 9; i++ {
+		if fp[i] != 0 {
+			t.Errorf("ff:fe nybble %d entropy = %v, want 0", i+17, fp[i])
+		}
+	}
+	// The OUI nybbles (17-22) are constant too for a single vendor.
+	for i := 0; i < 6; i++ {
+		if fp[i] > 0.3 {
+			t.Errorf("OUI nybble entropy = %v, want low", fp[i])
+		}
+	}
+	// Device-serial nybbles (27-32) vary.
+	if fp[12] < 0.8 {
+		t.Errorf("serial nybble entropy = %v, want high", fp[12])
+	}
+}
+
+func TestFingerprintBoundsClamped(t *testing.T) {
+	addrs := []ip6.Addr{ip6.MustParseAddr("::1")}
+	if fp := Fingerprint(addrs, -3, 99); len(fp) != 32 {
+		t.Errorf("clamped fingerprint length = %d, want 32", len(fp))
+	}
+	if fp := Fingerprint(addrs, 20, 10); fp != nil {
+		t.Error("inverted range should give nil")
+	}
+}
+
+func TestByPrefixLen(t *testing.T) {
+	var addrs []ip6.Addr
+	// Two /32s: one with 150 counter addresses, one with 150 random, one
+	// with just 50 (below min).
+	a32 := ip6.MustParseAddr("2001:db8::")
+	b32 := ip6.MustParseAddr("2001:dead::")
+	c32 := ip6.MustParseAddr("2001:beef::")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(a32.Hi(), uint64(i)))
+		addrs = append(addrs, ip6.AddrFromUint64(b32.Hi(), rng.Uint64()))
+	}
+	for i := 0; i < 50; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(c32.Hi(), uint64(i)))
+	}
+	groups := ByPrefixLen(addrs, 32, 100, 9, 32)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (min filter)", len(groups))
+	}
+	for _, g := range groups {
+		if g.Size != 150 || g.Prefix.Bits() != 32 {
+			t.Errorf("group %+v wrong", g.Key)
+		}
+		if len(g.FP) != 24 {
+			t.Errorf("fingerprint dim %d", len(g.FP))
+		}
+	}
+	// Counter group has near-zero mean entropy; random group near 1.
+	mean := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	var counterMean, randomMean float64
+	for _, g := range groups {
+		if g.Prefix.Contains(a32) {
+			counterMean = mean(g.FP)
+		} else {
+			randomMean = mean(g.FP)
+		}
+	}
+	// The random group still has constant subnet nybbles 9-16, so its
+	// F932 mean is ~16/24 ≈ 0.67, not ~1.
+	if counterMean > 0.2 || randomMean < 0.55 {
+		t.Errorf("means: counter %v random %v", counterMean, randomMean)
+	}
+}
+
+func TestByASAndByBGPPrefix(t *testing.T) {
+	table := bgp.NewTable()
+	table.Announce(ip6.MustParsePrefix("2001:db8::/32"), 100)
+	table.Announce(ip6.MustParsePrefix("2001:dead::/32"), 200)
+	var addrs []ip6.Addr
+	for i := 0; i < 120; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(ip6.MustParseAddr("2001:db8::").Hi(), uint64(i)))
+	}
+	// Unrouted addresses must be skipped silently.
+	addrs = append(addrs, ip6.MustParseAddr("fd00::1"))
+	byAS := ByAS(addrs, table, 100, 9, 32)
+	if len(byAS) != 1 || byAS[0].ASN != 100 || byAS[0].Key != "AS100" {
+		t.Errorf("ByAS = %+v", byAS)
+	}
+	byPfx := ByBGPPrefix(addrs, table, 100, 9, 32)
+	if len(byPfx) != 1 || byPfx[0].Prefix != ip6.MustParsePrefix("2001:db8::/32") {
+		t.Errorf("ByBGPPrefix = %+v", byPfx)
+	}
+	if byPfx[0].ASN != 100 {
+		t.Errorf("origin not recorded: %d", byPfx[0].ASN)
+	}
+}
+
+func TestGroupOrdering(t *testing.T) {
+	var addrs []ip6.Addr
+	for i := 0; i < 300; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(ip6.MustParseAddr("2001:db8::").Hi(), uint64(i)))
+	}
+	for i := 0; i < 150; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(ip6.MustParseAddr("2001:dead::").Hi(), uint64(i)))
+	}
+	gs := ByPrefixLen(addrs, 32, 100, 9, 32)
+	if len(gs) != 2 || gs[0].Size < gs[1].Size {
+		t.Error("groups not sorted by size descending")
+	}
+}
+
+func TestVectors(t *testing.T) {
+	gs := []Group{{FP: []float64{0.1}}, {FP: []float64{0.9}}}
+	v := Vectors(gs)
+	if len(v) != 2 || v[0][0] != 0.1 || v[1][0] != 0.9 {
+		t.Error("Vectors extraction wrong")
+	}
+}
+
+func TestFingerprintEntropyInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var addrs []ip6.Addr
+	for i := 0; i < 500; i++ {
+		addrs = append(addrs, ip6.AddrFromUint64(rng.Uint64(), rng.Uint64()))
+	}
+	for _, h := range Fingerprint(addrs, 1, 32) {
+		if h < 0 || h > 1 || math.IsNaN(h) {
+			t.Fatalf("entropy out of range: %v", h)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package ip6
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv6 network prefix: an address plus a length in bits.
+// The address is always kept in masked (canonical) form, so Prefix values
+// are comparable with == and usable as map keys.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom returns the prefix of the given length containing addr.
+// The address is masked to the prefix boundary. Lengths outside [0,128]
+// are clamped.
+func PrefixFrom(addr Addr, length int) Prefix {
+	if length < 0 {
+		length = 0
+	}
+	if length > 128 {
+		length = 128
+	}
+	return Prefix{addr: mask(addr, length), bits: uint8(length)}
+}
+
+func mask(a Addr, length int) Addr {
+	switch {
+	case length <= 0:
+		return Addr{}
+	case length >= 128:
+		return a
+	case length <= 64:
+		return Addr{hi: a.hi &^ (^uint64(0) >> length)}
+	default:
+		return Addr{hi: a.hi, lo: a.lo &^ (^uint64(0) >> (length - 64))}
+	}
+}
+
+// Addr returns the (masked) base address of the prefix.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// IsZero reports whether p is the zero Prefix ("::/0").
+func (p Prefix) IsZero() bool { return p.bits == 0 && p.addr.IsZero() }
+
+// Contains reports whether the prefix covers addr.
+func (p Prefix) Contains(a Addr) bool {
+	return mask(a, int(p.bits)) == p.addr
+}
+
+// ContainsPrefix reports whether p covers all of q (p is a supernet of or
+// equal to q).
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.bits >= p.bits && p.Contains(q.addr)
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.bits <= q.bits {
+		return p.Contains(q.addr)
+	}
+	return q.Contains(p.addr)
+}
+
+// Last returns the highest address inside the prefix.
+func (p Prefix) Last() Addr {
+	l := int(p.bits)
+	switch {
+	case l <= 0:
+		return Addr{hi: ^uint64(0), lo: ^uint64(0)}
+	case l >= 128:
+		return p.addr
+	case l <= 64:
+		return Addr{hi: p.addr.hi | ^uint64(0)>>l, lo: ^uint64(0)}
+	default:
+		return Addr{hi: p.addr.hi, lo: p.addr.lo | ^uint64(0)>>(l-64)}
+	}
+}
+
+// Supernet returns the prefix shortened to the given length.
+func (p Prefix) Supernet(length int) Prefix {
+	if length >= int(p.bits) {
+		return p
+	}
+	return PrefixFrom(p.addr, length)
+}
+
+// Subprefix returns the idx-th subprefix of length newLen (newLen must be
+// >= p.Bits()). Subprefixes are numbered from 0 in address order; only the
+// low bits of idx that fit in newLen-p.Bits() are used.
+func (p Prefix) Subprefix(newLen int, idx uint64) Prefix {
+	if newLen <= int(p.bits) {
+		return p
+	}
+	if newLen > 128 {
+		newLen = 128
+	}
+	a := p.addr
+	span := newLen - int(p.bits)
+	if span < 64 {
+		idx &= 1<<span - 1
+	}
+	// Place idx so its low bit lands at position (newLen-1).
+	if newLen <= 64 {
+		a.hi |= idx << (64 - newLen)
+	} else if int(p.bits) >= 64 {
+		a.lo |= idx << (128 - newLen)
+	} else {
+		// The sub-prefix bits straddle the 64-bit boundary.
+		loBits := newLen - 64
+		a.lo |= idx << (128 - newLen) // low part
+		hiPart := idx >> loBits
+		a.hi |= hiPart
+	}
+	return Prefix{addr: a, bits: uint8(newLen)}
+}
+
+// NumAddresses returns the number of addresses in the prefix, capped at
+// MaxUint64 for prefixes shorter than /64.
+func (p Prefix) NumAddresses() uint64 {
+	if p.bits <= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1) << (128 - int(p.bits))
+}
+
+// RandomAddr returns a pseudo-random address inside the prefix drawn from
+// rng. The host bits are uniform random; the network bits are fixed.
+func (p Prefix) RandomAddr(rng *rand.Rand) Addr {
+	r := Addr{hi: rng.Uint64(), lo: rng.Uint64()}
+	l := int(p.bits)
+	switch {
+	case l <= 0:
+		return r
+	case l >= 128:
+		return p.addr
+	case l <= 64:
+		return Addr{hi: p.addr.hi | r.hi&(^uint64(0)>>l), lo: r.lo}
+	default:
+		return Addr{hi: p.addr.hi, lo: p.addr.lo | r.lo&(^uint64(0)>>(l-64))}
+	}
+}
+
+// NthAddr returns the base address plus n, staying within the prefix by
+// masking overflow into the host bits.
+func (p Prefix) NthAddr(n uint64) Addr {
+	l := int(p.bits)
+	if l >= 128 {
+		return p.addr
+	}
+	hostBits := 128 - l
+	if hostBits < 64 {
+		n &= 1<<hostBits - 1
+	}
+	lo := p.addr.lo + n
+	hi := p.addr.hi
+	if lo < p.addr.lo && l < 64 {
+		hi++
+	}
+	return Addr{hi: hi, lo: lo}
+}
+
+// String returns the canonical "addr/len" form.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// ParsePrefix parses an "addr/len" prefix string. The address part is
+// masked to the prefix boundary.
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("%w: %q missing '/'", ErrBadPrefix, s)
+	}
+	a, err := ParseAddr(s[:i])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %q: %v", ErrBadPrefix, s, err)
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n < 0 || n > 128 {
+		return Prefix{}, fmt.Errorf("%w: %q bad length", ErrBadPrefix, s)
+	}
+	return PrefixFrom(a, n), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ComparePrefix orders prefixes by length first (shorter prefixes sort
+// first) and then by base address; this is the {prefix-size, ASN} zesplot
+// order before the ASN tiebreak.
+func ComparePrefix(a, b Prefix) int {
+	if a.bits != b.bits {
+		return int(a.bits) - int(b.bits)
+	}
+	return a.addr.Compare(b.addr)
+}

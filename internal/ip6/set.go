@@ -1,0 +1,126 @@
+package ip6
+
+import "sort"
+
+// Set is an insertion-deduplicating collection of IPv6 addresses.
+// It is the working representation of a hitlist: sources append addresses,
+// the pipeline iterates them in deterministic (sorted) order, and set
+// algebra supports "new addresses per source" accounting.
+// The zero value is an empty set ready to use.
+type Set struct {
+	m map[Addr]struct{}
+}
+
+// NewSet returns a set preallocated for n addresses.
+func NewSet(n int) *Set {
+	return &Set{m: make(map[Addr]struct{}, n)}
+}
+
+// Add inserts a, reporting whether it was newly added.
+func (s *Set) Add(a Addr) bool {
+	if s.m == nil {
+		s.m = make(map[Addr]struct{})
+	}
+	if _, ok := s.m[a]; ok {
+		return false
+	}
+	s.m[a] = struct{}{}
+	return true
+}
+
+// AddAll inserts every address of other, returning how many were new.
+func (s *Set) AddAll(other *Set) int {
+	n := 0
+	for a := range other.m {
+		if s.Add(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// AddSlice inserts every address in addrs, returning how many were new.
+func (s *Set) AddSlice(addrs []Addr) int {
+	n := 0
+	for _, a := range addrs {
+		if s.Add(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports membership.
+func (s *Set) Contains(a Addr) bool {
+	_, ok := s.m[a]
+	return ok
+}
+
+// Remove deletes a from the set, reporting whether it was present.
+func (s *Set) Remove(a Addr) bool {
+	if _, ok := s.m[a]; !ok {
+		return false
+	}
+	delete(s.m, a)
+	return true
+}
+
+// Len returns the number of addresses.
+func (s *Set) Len() int { return len(s.m) }
+
+// Sorted returns the addresses in ascending numeric order. The result is
+// freshly allocated.
+func (s *Set) Sorted() []Addr {
+	out := make([]Addr, 0, len(s.m))
+	for a := range s.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Each calls fn for every address in unspecified order, stopping early if
+// fn returns false.
+func (s *Set) Each(fn func(Addr) bool) {
+	for a := range s.m {
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := NewSet(len(s.m))
+	for a := range s.m {
+		c.m[a] = struct{}{}
+	}
+	return c
+}
+
+// Diff returns the addresses in s that are not in other, in sorted order.
+func (s *Set) Diff(other *Set) []Addr {
+	var out []Addr
+	for a := range s.m {
+		if !other.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Intersect returns the number of addresses present in both sets.
+func (s *Set) Intersect(other *Set) int {
+	small, big := s, other
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	n := 0
+	for a := range small.m {
+		if big.Contains(a) {
+			n++
+		}
+	}
+	return n
+}

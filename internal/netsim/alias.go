@@ -1,0 +1,319 @@
+package netsim
+
+import (
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// StaleRecord is an address that DNS data still references but that no
+// longer responds — the dominant reason only a fraction of hitlist
+// addresses answer probes (§6).
+type StaleRecord struct {
+	Addr   ip6.Addr
+	ASN    bgp.ASN
+	Domain uint32
+}
+
+// AliasRecord is a "customer" DNS record pointing into an aliased region
+// (CDN per-customer addresses, the IP_FREEBIND pattern of §5). These are
+// how aliased prefixes flood hitlists with responsive but worthless
+// addresses.
+type AliasRecord struct {
+	Addr   ip6.Addr
+	ASN    bgp.ASN
+	Domain uint32
+	Region *AliasRegion
+}
+
+// addRegion registers an alias region in the trie and region list.
+func (in *Internet) addRegion(r *AliasRegion) {
+	in.regions = append(in.regions, r)
+	in.aliasT.Insert(r.Prefix, r)
+}
+
+// webMask is the protocol set aliased web front-ends answer.
+func webMask(quic bool) wire.RespMask {
+	var m wire.RespMask
+	m.Set(wire.ICMPv6)
+	m.Set(wire.TCP80)
+	m.Set(wire.TCP443)
+	if quic {
+		m.Set(wire.UDP443)
+	}
+	return m
+}
+
+// planAliases builds the ground-truth aliased prefixes:
+//
+//   - most of Amazon's 189 /48s and Incapsula's 64 /48s (the "hook" of
+//     Figure 5),
+//   - a handful of fully aliased /32s, including one whole-/32 web server
+//     (footnote 1 of the paper),
+//   - many aliased /64s inside hoster/cloud networks (IP_FREEBIND on
+//     individual machines; 20.7k in the paper),
+//   - the §5.1 anomaly cases: a SYN-proxy /80, an aliased region with a
+//     non-aliased 0x0-branch hole, and rate-limited neighbouring /120s.
+func (in *Internet) planAliases(nextDomain func() uint32) {
+	recordsPer := func(p ip6.Prefix, base float64) int {
+		n := int(base * in.cfg.Scale * (0.5 + unit(hash2(in.key^0xa11a5, p.Addr().Hi()))))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	// addRecords creates the customer DNS records pointing into a region.
+	// CDN-style /48 regions hand out pseudo-random per-customer addresses
+	// (Amazon's pattern); IP_FREEBIND machines binding a single /64 give
+	// customers sequential addresses, so those records are counter-style —
+	// which is also what keeps the per-/32 entropy fingerprints of hoster
+	// space crisp (Figure 2).
+	addRecords := func(r *AliasRegion, n int) {
+		rng := in.rngFor(r.Machine ^ 0x4ec04d5)
+		counterStyle := r.Prefix.Bits() >= 64
+		for i := 0; i < n; i++ {
+			var addr ip6.Addr
+			if counterStyle {
+				addr = r.Prefix.NthAddr(uint64(i) + 1)
+			} else {
+				addr = r.Prefix.RandomAddr(rng)
+			}
+			if !r.Hole.IsZero() && r.Hole.Contains(addr) {
+				continue
+			}
+			in.aliasRecords = append(in.aliasRecords, AliasRecord{
+				Addr: addr, ASN: r.ASN, Domain: nextDomain(), Region: r,
+			})
+		}
+	}
+
+	quirkFor := func(key uint64) AliasQuirk {
+		var q AliasQuirk
+		h := mix64(key ^ 0x9e12c5)
+		// Rates tuned to Table 5: optionstext ~0.5%, WScale ~0.5%,
+		// MSS ~5%, WSize ~5%, iTTL ≈ 0 (handled by explicit flip regions).
+		if chance(h, 0.005) {
+			q |= QuirkProxyMix
+		}
+		if chance(mix64(h^1), 0.052) {
+			q |= QuirkWSizeVary
+		}
+		if chance(mix64(h^2), 0.050) {
+			q |= QuirkMSSVary
+		}
+		return q
+	}
+
+	// 1. Amazon: ~90% of its /48s aliased.
+	amazon := bgp.FindASN("Amazon")
+	incap := bgp.FindASN("Incapsula")
+	for _, asn := range []bgp.ASN{amazon, incap} {
+		for i, p := range in.Table.PrefixesOf(asn) {
+			if p.Bits() != 48 {
+				continue
+			}
+			if !chance(hash3(in.key^0xa3a2, uint64(asn), uint64(i)), 0.90) {
+				continue
+			}
+			key := hash3(in.key^0xa11, uint64(asn), p.Addr().Hi())
+			r := &AliasRegion{
+				Prefix:  p,
+				ASN:     asn,
+				Machine: key,
+				Serves:  webMask(chance(mix64(key), 0.4)),
+				Quirks:  quirkFor(key),
+				Loss:    0.004 + unit(mix64(key^3))*0.01,
+			}
+			if chance(mix64(key^4), 0.02) {
+				r.Loss = 0.1 + unit(mix64(key^5))*0.15
+			}
+			in.addRegion(r)
+			addRecords(r, recordsPer(p, 420))
+		}
+	}
+
+	// 2. Aliased /32 group + the whole-/32 single web server.
+	groupDone, wholeDone := 0, false
+	for _, nw := range in.nets {
+		if nw.kind != bgp.KindCloud || nw.prefix.Bits() != 32 {
+			continue
+		}
+		if !wholeDone {
+			key := hash2(in.key^0x3201, nw.key)
+			r := &AliasRegion{
+				Prefix: nw.prefix, ASN: nw.asn, Machine: key,
+				Serves: webMask(false), Quirks: 0, Loss: 0.006,
+			}
+			in.addRegion(r)
+			addRecords(r, recordsPer(nw.prefix, 60))
+			wholeDone = true
+			continue
+		}
+		if groupDone < 8 && chance(hash2(in.key^0x3202, nw.key), 0.1) {
+			key := hash2(in.key^0x3203, nw.key)
+			r := &AliasRegion{
+				Prefix: nw.prefix, ASN: nw.asn, Machine: key,
+				Serves: webMask(true), Quirks: quirkFor(key), Loss: 0.008,
+			}
+			in.addRegion(r)
+			addRecords(r, recordsPer(nw.prefix, 40))
+			groupDone++
+		}
+	}
+
+	// 3. Aliased /64s in hosters/clouds (single machines binding a /64).
+	for _, nw := range in.nets {
+		if nw.kind != bgp.KindHoster && nw.kind != bgp.KindCloud && nw.kind != bgp.KindInternetService {
+			continue
+		}
+		if nw.prefix.Bits() > 40 {
+			continue
+		}
+		if !chance(mix64(nw.key^0x64a1), 0.42) {
+			continue
+		}
+		n := 1 + int(hash2(nw.key, 0x64)%4)
+		for i := 0; i < n; i++ {
+			p64 := nw.prefix.Subprefix(64, 0xf1ee+uint64(i))
+			key := hash3(in.key^0x64a2, nw.key, uint64(i))
+			r := &AliasRegion{
+				Prefix: p64, ASN: nw.asn, Machine: key,
+				Serves: webMask(chance(mix64(key), 0.3)),
+				Quirks: quirkFor(key),
+				Loss:   0.004 + unit(mix64(key^6))*0.012,
+			}
+			if chance(mix64(key^7), 0.012) {
+				r.Quirks |= QuirkTTLFlip // the 2 iTTL-flipping /48 parents
+			}
+			if chance(mix64(key^8), 0.03) {
+				r.Loss = 0.1 + unit(mix64(key^9))*0.12
+			}
+			in.addRegion(r)
+			addRecords(r, recordsPer(p64, 16))
+		}
+	}
+
+	// 4. §5.1 anomaly cases, placed in the first suitable hoster.
+	var anomalyNet *network
+	for _, nw := range in.nets {
+		if nw.kind == bgp.KindHoster && nw.prefix.Bits() == 32 {
+			anomalyNet = nw
+			break
+		}
+	}
+	if anomalyNet != nil {
+		nw := anomalyNet
+		// 4a. SYN proxy /80: parent /72 aliased, /80 child behind a SYN
+		// proxy answering 3-5 of 16 branches, varying per day.
+		p72 := nw.prefix.Subprefix(72, 0xdead01)
+		p80 := p72.Subprefix(80, 3)
+		parent := &AliasRegion{
+			Prefix: p72, ASN: nw.asn, Machine: hash2(in.key, 0x5a01),
+			Serves: webMask(false), Hole: p80, Loss: 0.005,
+		}
+		in.addRegion(parent)
+		in.addRegion(&AliasRegion{
+			Prefix: p80, ASN: nw.asn, Machine: hash2(in.key, 0x5a02),
+			Quirks: QuirkSYNProxy, Loss: 0,
+		})
+		addRecords(parent, recordsPer(p72, 12))
+
+		// 4b. DE-CIX case: aliased /112 whose 0x0-branch /120 inside one
+		// /116 is answered by different infrastructure (a hole).
+		p112 := nw.prefix.Subprefix(112, 0xdecc1)
+		p116 := p112.Subprefix(116, 0xb)
+		hole := p116.Subprefix(120, 0x0)
+		in.addRegion(&AliasRegion{
+			Prefix: p112, ASN: nw.asn, Machine: hash2(in.key, 0x5a03),
+			Serves: webMask(false), Hole: hole, Loss: 0.004,
+		})
+
+		// 4c. Six neighbouring rate-limited /120s: an aliased /116 whose
+		// low /120s are ICMP-rate-limited.
+		p116b := nw.prefix.Subprefix(116, 0xacdc2)
+		in.addRegion(&AliasRegion{
+			Prefix: p116b, ASN: nw.asn, Machine: hash2(in.key, 0x5a04),
+			Serves: webMask(false), Quirks: QuirkRateLimit, Loss: 0.02,
+		})
+
+		// 4d. Footnote-style /96 inside the same hoster for fan-out tests.
+		p96 := nw.prefix.Subprefix(96, 0xfee1)
+		r96 := &AliasRegion{
+			Prefix: p96, ASN: nw.asn, Machine: hash2(in.key, 0x5a05),
+			Serves: webMask(true), Loss: 0.006,
+		}
+		in.addRegion(r96)
+		addRecords(r96, recordsPer(p96, 10))
+	}
+}
+
+// planRDNS creates the reverse-DNS population of §8: a balanced,
+// hosting-heavy set largely disjoint from the forward-DNS sources. A
+// slice of existing hosts gets rDNS entries, and hosters carry additional
+// rDNS-only hosts (plus stale rDNS records).
+func (in *Internet) planRDNS(nextDomain func() uint32) {
+	// Existing hosts: ~30% of servers and 20% of routers have PTRs.
+	for i := range in.hostArr {
+		h := &in.hostArr[i]
+		hk := hashAddr(in.key^0x4d45, h.Addr)
+		// Only a small slice of forward-DNS-visible machines also have
+		// PTRs; the bulk of the rDNS tree is infrastructure the forward
+		// sources never see (that is what makes rDNS "mostly new", §8).
+		switch h.Class {
+		case ClassWebServer, ClassDNSServer:
+			if chance(hk, 0.07) {
+				in.rdns = append(in.rdns, h.Addr)
+			}
+		case ClassRouter:
+			if chance(hk, 0.10) {
+				in.rdns = append(in.rdns, h.Addr)
+			}
+		}
+	}
+	// rDNS-only hosts on hosters (provisioned-but-unlisted machines) —
+	// these make rDNS "a valuable addition" (11.1M of 11.7M new in §8).
+	for _, nw := range in.nets {
+		if nw.kind != bgp.KindHoster && nw.kind != bgp.KindInternetService {
+			continue
+		}
+		if nw.prefix.Bits() > 36 || !chance(mix64(nw.key^0x4d0), 0.5) {
+			continue
+		}
+		n := int(float64(16+hash2(nw.key, 0x4d1)%48) * in.cfg.Scale)
+		sub := nw.prefix.Subprefix(64, 0xd)
+		for i := 0; i < n; i++ {
+			addr := ip6.AddrFromUint64(sub.Addr().Hi(), 0x100+uint64(i))
+			hk := hashAddr(nw.key, addr)
+			var serves wire.RespMask
+			serves.Set(wire.ICMPv6)
+			if chance(mix64(hk^1), 0.35) {
+				serves.Set(wire.TCP80)
+			}
+			if chance(mix64(hk^2), 0.2) {
+				serves.Set(wire.TCP443)
+			}
+			in.addHost(Host{
+				Addr: addr, ASN: nw.asn, Class: ClassWebServer,
+				Serves: serves, Machine: hash2(nw.key^0x4d2, uint64(i)),
+				DeathDay: deathDay(mix64(hk^3), 0.002, 3*in.Horizon()),
+			})
+			in.rdns = append(in.rdns, addr)
+		}
+		// Stale rDNS entries (PTR records for long-gone machines).
+		nStale := n * 10
+		for i := 0; i < nStale; i++ {
+			addr := ip6.AddrFromUint64(sub.Addr().Hi(), 0x10000+uint64(i))
+			in.rdns = append(in.rdns, addr)
+		}
+		_ = nextDomain
+	}
+}
+
+// StaleRecords returns the stale forward-DNS records.
+func (in *Internet) StaleRecords() []StaleRecord { return in.stale }
+
+// AliasRecords returns the DNS records pointing into aliased regions.
+func (in *Internet) AliasRecords() []AliasRecord { return in.aliasRecords }
+
+// RDNSAddrs returns all addresses that have reverse-DNS entries.
+func (in *Internet) RDNSAddrs() []ip6.Addr { return in.rdns }

@@ -1,0 +1,509 @@
+// Package netsim implements the simulated IPv6 Internet that the hitlist
+// pipeline measures. It is the substitute for the live Internet of the
+// paper (see DESIGN.md): a deterministic world of autonomous systems,
+// announced prefixes, addressing schemes, servers, routers, CPE devices,
+// clients, and — crucially — aliased prefixes, answering probe packets
+// with realistic responsiveness, fingerprints, churn, packet loss, and
+// rate limiting.
+//
+// Determinism: the world is fully determined by Config.Seed. Any probe
+// (address, protocol, day, time) always yields the same answer given the
+// same prior state, which makes every experiment in the paper exactly
+// reproducible.
+package netsim
+
+import (
+	"math/rand"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// Config parameterizes world generation.
+type Config struct {
+	// Seed determines everything.
+	Seed int64
+	// Registry configures the synthetic routing table.
+	Registry bgp.RegistryConfig
+	// Scale multiplies host populations. 1.0 builds a world whose hitlist
+	// is ~1:100 of the paper's (≈400-600k addresses).
+	Scale float64
+	// EpochDays is the number of days between source-collection
+	// snapshots (the paper collects daily over ~9 months; we default to
+	// weekly snapshots over the simulated period).
+	EpochDays int
+	// Epochs is the number of collection snapshots for the runup.
+	Epochs int
+}
+
+// DefaultConfig returns the standard 1:100-scale world.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      0x16C18,
+		Registry:  bgp.DefaultRegistryConfig(),
+		Scale:     1.0,
+		EpochDays: 7,
+		Epochs:    10,
+	}
+}
+
+// HostClass categorizes simulated hosts; sources and reports use it to
+// reason about populations (§3's "servers, routers, and a share of
+// clients").
+type HostClass uint8
+
+// Host classes.
+const (
+	ClassWebServer HostClass = iota
+	ClassDNSServer
+	ClassRouter  // core/border routers
+	ClassCPE     // customer premises equipment (home routers)
+	ClassClient  // end-user devices
+	ClassBitnode // Bitcoin peers (clients that appear in the Bitnodes API)
+	ClassAtlas   // RIPE Atlas probes/anchors
+)
+
+// String returns a short class name.
+func (c HostClass) String() string {
+	switch c {
+	case ClassWebServer:
+		return "web"
+	case ClassDNSServer:
+		return "dns"
+	case ClassRouter:
+		return "router"
+	case ClassCPE:
+		return "cpe"
+	case ClassClient:
+		return "client"
+	case ClassBitnode:
+		return "bitnode"
+	case ClassAtlas:
+		return "atlas"
+	default:
+		return "host"
+	}
+}
+
+// Host is one finite simulated host.
+type Host struct {
+	Addr    ip6.Addr
+	ASN     bgp.ASN
+	Class   HostClass
+	Serves  wire.RespMask
+	Machine uint64 // machine profile key; hosts in a cloned pool share it
+	// DeathDay is the first day the host no longer responds (-1: beyond
+	// horizon). Drives the longitudinal decay of Figure 8.
+	DeathDay int16
+	// QUICFlaky marks hosts whose UDP/443 responsiveness flaps per day
+	// (the Akamai/HDNet behaviour of §6.3).
+	QUICFlaky bool
+	// Domain is a nonzero domain ID if a DNS name points at this host.
+	Domain uint32
+}
+
+// AliasQuirk flags unusual behaviours of an aliased region that the
+// fingerprinting study (§5.4) must encounter.
+type AliasQuirk uint8
+
+// Alias quirks.
+const (
+	// QuirkTTLFlip: individual probes get iTTL 64 or 255 at random (the
+	// paper's 22 inconsistent-iTTL addresses in 2 /48s).
+	QuirkTTLFlip AliasQuirk = 1 << iota
+	// QuirkProxyMix: a TCP-level proxy fronts different backends per
+	// destination address, so options layouts differ per address.
+	QuirkProxyMix
+	// QuirkWSizeVary: advertised window varies per probe (host state).
+	QuirkWSizeVary
+	// QuirkMSSVary: MSS differs per destination address.
+	QuirkMSSVary
+	// QuirkRateLimit: ICMP(+TCP) responses are rate-limited; some
+	// fan-out branches fail per day (the six /120s of §5.1).
+	QuirkRateLimit
+	// QuirkSYNProxy: a SYN proxy answers all TCP after a threshold;
+	// responds to only some branches, changing daily (the /80 of §5.1).
+	QuirkSYNProxy
+)
+
+// AliasRegion is a ground-truth aliased prefix: every address inside it
+// (except inside Hole) is bound to one machine.
+type AliasRegion struct {
+	Prefix  ip6.Prefix
+	ASN     bgp.ASN
+	Machine uint64
+	Serves  wire.RespMask
+	Quirks  AliasQuirk
+	// Hole is an optional carve-out that is NOT aliased (zero Prefix if
+	// none) — the DE-CIX 0x0-branch case of §5.1.
+	Hole ip6.Prefix
+	// Loss is the per-probe loss probability (high-loss networks are what
+	// the sliding window of §5.2 exists for).
+	Loss float64
+}
+
+// lineISP describes a pool of subscriber lines inside one ISP
+// announcement. CPE and client addresses of rotating lines are computed
+// on demand (they are too numerous to materialize across days).
+type lineISP struct {
+	key    uint64
+	asn    bgp.ASN
+	base   ip6.Prefix // pool covering the line /56s
+	lines  int
+	bits   int // log2 of /56 slots in pool
+	mulG   uint64
+	invG   uint64
+	rotate int // rotation period in days; 0 = static
+	// hostShare is the fraction of lines that host a (dynamic-DNS) domain.
+	hostShare float64
+	// clientShare is the fraction of lines with an active client device.
+	clientShare float64
+}
+
+// network is per-announcement metadata used when answering probes.
+type network struct {
+	prefix  ip6.Prefix
+	asn     bgp.ASN
+	kind    bgp.Kind
+	key     uint64
+	pathLen uint8
+	jitter  bool // TTL varies per probe (on-path effects)
+	loss    float64
+	isp     *lineISP // non-nil for subscriber pools
+	scheme  Scheme
+}
+
+// Internet is the simulated world.
+type Internet struct {
+	cfg     Config
+	Table   *bgp.Table
+	hosts   map[ip6.Addr]int32
+	hostArr []Host
+	regions []*AliasRegion
+	aliasT  ip6.Trie[*AliasRegion]
+	nets    []*network
+	netT    ip6.Trie[*network]
+	// tier1 transit router addresses shared across traceroute paths.
+	tier1        []ip6.Addr
+	stale        []StaleRecord
+	aliasRecords []AliasRecord
+	rdns         []ip6.Addr
+	key          uint64
+}
+
+// New builds the world. Generation cost is O(total hosts); the default
+// scale builds in well under a second.
+func New(cfg Config) *Internet {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.EpochDays <= 0 {
+		cfg.EpochDays = 7
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	in := &Internet{
+		cfg:   cfg,
+		Table: bgp.Generate(cfg.Registry),
+		hosts: make(map[ip6.Addr]int32),
+		key:   mix64(uint64(cfg.Seed)),
+	}
+	in.plan()
+	return in
+}
+
+// Config returns the configuration the world was built with.
+func (in *Internet) Config() Config { return in.cfg }
+
+// Horizon returns the last simulated day (inclusive) covered by source
+// collection.
+func (in *Internet) Horizon() int { return in.cfg.Epochs * in.cfg.EpochDays }
+
+// addHost registers a finite host (construction time only).
+func (in *Internet) addHost(h Host) {
+	if _, dup := in.hosts[h.Addr]; dup {
+		return
+	}
+	in.hosts[h.Addr] = int32(len(in.hostArr))
+	in.hostArr = append(in.hostArr, h)
+}
+
+// Hosts returns all finite hosts of the given classes (all if none given).
+// The slice is freshly allocated; order is deterministic.
+func (in *Internet) Hosts(classes ...HostClass) []Host {
+	var want func(HostClass) bool
+	if len(classes) == 0 {
+		want = func(HostClass) bool { return true }
+	} else {
+		m := map[HostClass]bool{}
+		for _, c := range classes {
+			m[c] = true
+		}
+		want = func(c HostClass) bool { return m[c] }
+	}
+	var out []Host
+	for _, h := range in.hostArr {
+		if want(h.Class) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// HostAt returns the finite host at addr, if any.
+func (in *Internet) HostAt(addr ip6.Addr) (Host, bool) {
+	if i, ok := in.hosts[addr]; ok {
+		return in.hostArr[i], true
+	}
+	return Host{}, false
+}
+
+// AliasedRegions returns the ground-truth aliased regions (for validation
+// and EXPERIMENTS.md accounting — the pipeline itself must *detect* them).
+func (in *Internet) AliasedRegions() []*AliasRegion {
+	out := make([]*AliasRegion, len(in.regions))
+	copy(out, in.regions)
+	return out
+}
+
+// GroundTruthAliased reports whether addr falls in an aliased region
+// (outside any hole). SYN-proxy regions are not aliased: the proxy only
+// mimics responsiveness under attack thresholds (§5.1).
+func (in *Internet) GroundTruthAliased(addr ip6.Addr) bool {
+	_, r, ok := in.aliasT.Lookup(addr)
+	if !ok {
+		return false
+	}
+	if r.Quirks&QuirkSYNProxy != 0 {
+		return false
+	}
+	if !r.Hole.IsZero() && r.Hole.Contains(addr) {
+		return false
+	}
+	return true
+}
+
+// Probe implements wire.Responder: it answers a single probe packet.
+func (in *Internet) Probe(dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
+	// 1. Aliased regions (including their special-behaviour quirks).
+	if _, r, ok := in.aliasT.Lookup(dst); ok {
+		if resp, handled := in.probeAlias(r, dst, p, day, at); handled {
+			return resp
+		}
+	}
+	// 2. Finite hosts.
+	if i, ok := in.hosts[dst]; ok {
+		return in.probeHost(&in.hostArr[i], dst, p, day, at)
+	}
+	// 3. Functional populations: rotating subscriber lines. Pools hang
+	// off the operator's covering announcement, so resolve with the
+	// SHORTEST match (more-specific announcements may overlap the pool).
+	if _, nw, ok := in.netT.LookupShortest(dst); ok && nw.isp != nil {
+		return in.probeLine(nw, dst, p, day, at)
+	}
+	return wire.Response{}
+}
+
+// probeAlias answers probes that land in an aliased region. handled=false
+// means the address is in the region's hole and resolution must continue.
+func (in *Internet) probeAlias(r *AliasRegion, dst ip6.Addr, p wire.Proto, day int, at wire.Time) (wire.Response, bool) {
+	if !r.Hole.IsZero() && r.Hole.Contains(dst) {
+		return wire.Response{}, false
+	}
+	dstKey := hashAddr(in.key, dst)
+	if r.Quirks&QuirkSYNProxy != 0 {
+		// SYN proxy: TCP only, and only when today's connection-count
+		// threshold hash says the proxy is in "defence mode" for this
+		// branch. 3-5 of 16 branches respond, differing per day (§5.1).
+		if !p.IsTCP() {
+			return wire.Response{}, true
+		}
+		branch := dst.Nybble(r.Prefix.Bits() / 4) // first nybble below prefix
+		if !chance(hash3(r.Machine, uint64(day), uint64(branch)), 0.25) {
+			return wire.Response{}, true
+		}
+		return in.answer(r.Machine, r.quirkedMachine(dstKey), dstKey, p, day, at, r.pathLen(in), false), true
+	}
+	if !r.Serves.Has(p) {
+		return wire.Response{}, true
+	}
+	// Per-probe loss (plus rate limiting on specific branches per day).
+	if chance(hash3(in.key, dstKey, uint64(day)<<3|uint64(p)), r.Loss) {
+		return wire.Response{}, true
+	}
+	if r.Quirks&QuirkRateLimit != 0 {
+		branch := dst.Nybble(r.Prefix.Bits() / 4)
+		if chance(hash3(r.Machine^0xacce1, uint64(day)<<5|uint64(p), uint64(branch)), 0.18) {
+			return wire.Response{}, true
+		}
+	}
+	resp := in.answer(r.Machine, r.quirkedMachine(dstKey), dstKey, p, day, at, r.pathLen(in), r.Quirks&QuirkTTLFlip != 0)
+	if resp.TCP != nil {
+		if r.Quirks&QuirkWSizeVary != 0 {
+			// Host-state-dependent receive window: varies per probe.
+			resp.TCP.WSize += uint16(hash3(r.Machine, dstKey, uint64(at)) % 5 * 1460)
+		}
+		if r.Quirks&QuirkMSSVary != 0 && dstKey%5 == 0 {
+			// Some addresses advertise path-specific MSS values.
+			resp.TCP.MSS -= 8
+		}
+	}
+	return resp, true
+}
+
+// quirkedMachine derives the effective machine key for a destination,
+// implementing the per-address fingerprint variation quirks.
+func (r *AliasRegion) quirkedMachine(dstKey uint64) uint64 {
+	m := r.Machine
+	if r.Quirks&QuirkProxyMix != 0 && dstKey%7 == 0 {
+		// ~1/7 of addresses front a different backend.
+		m = mix64(m ^ 0xbac0e4d)
+	}
+	return m
+}
+
+func (r *AliasRegion) pathLen(in *Internet) uint8 {
+	return uint8(3 + hash2(in.key^0x9a70, uint64(r.ASN))%9)
+}
+
+// probeHost answers probes to finite hosts.
+func (in *Internet) probeHost(h *Host, dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
+	if h.DeathDay >= 0 && day >= int(h.DeathDay) {
+		return wire.Response{}
+	}
+	if !h.Serves.Has(p) {
+		return wire.Response{}
+	}
+	dstKey := hashAddr(in.key, dst)
+	if h.QUICFlaky && p == wire.UDP443 {
+		// Flapping QUIC deployment: up only on "test days" per address.
+		if !chance(hash3(h.Machine^0x901c, uint64(day), dstKey), 0.75) {
+			return wire.Response{}
+		}
+	}
+	nw := in.networkOf(dst)
+	loss, path, jitter := 0.01, uint8(5), false
+	if nw != nil {
+		loss, path, jitter = nw.loss, nw.pathLen, nw.jitter
+	}
+	if h.Class == ClassClient || h.Class == ClassBitnode {
+		// Clients: session windows; see §9.3. Deterministic per (host,day).
+		if !clientOnline(h.Machine, day, at) {
+			return wire.Response{}
+		}
+	}
+	if chance(hash3(in.key^0x1055, dstKey, uint64(day)<<3|uint64(p)), loss) {
+		return wire.Response{}
+	}
+	return in.answer(h.Machine, h.Machine, dstKey, p, day, at, path, jitter)
+}
+
+// clientOnline models a client's daily uptime window (mean ≈ 8h).
+func clientOnline(key uint64, day int, at wire.Time) bool {
+	h := hash2(key, uint64(day))
+	// 15% of days the device is off entirely.
+	if chance(h, 0.15) {
+		return false
+	}
+	start := h % 86_400_000_000 // μs offset of window start
+	// Window length: roughly log-uniform between 30 min and 24 h.
+	frac := unit(mix64(h))
+	dur := uint64(1800_000_000) << uint(frac*5.5) // 0.5h .. 24h (capped)
+	if dur > 86_400_000_000 {
+		dur = 86_400_000_000
+	}
+	t := uint64(at) % 86_400_000_000
+	end := start + dur
+	if end <= 86_400_000_000 {
+		return t >= start && t < end
+	}
+	return t >= start || t < end-86_400_000_000
+}
+
+// probeLine answers probes into subscriber pools (rotating CPE/clients).
+func (in *Internet) probeLine(nw *network, dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
+	isp := nw.isp
+	line, kind, ok := isp.lineAt(dst, day)
+	if !ok {
+		return wire.Response{}
+	}
+	dstKey := hashAddr(in.key, dst)
+	switch kind {
+	case lineCPE:
+		if p != wire.ICMPv6 {
+			return wire.Response{}
+		}
+		if chance(hash3(in.key^0xc9e, dstKey, uint64(day)), nw.loss+0.02) {
+			return wire.Response{}
+		}
+		return in.answer(isp.cpeMachine(line), isp.cpeMachine(line), dstKey, p, day, at, nw.pathLen, nw.jitter)
+	case lineNAS:
+		// Self-hosted servers behind CPE: web panel plus ICMP.
+		if p != wire.ICMPv6 && p != wire.TCP80 {
+			return wire.Response{}
+		}
+		mk := isp.cpeMachine(line) ^ 0x4a5
+		if chance(hash3(in.key^0x4a5a, dstKey, uint64(day)<<3|uint64(p)), nw.loss+0.03) {
+			return wire.Response{}
+		}
+		return in.answer(mk, mk, dstKey, p, day, at, nw.pathLen+1, nw.jitter)
+	case lineClient:
+		if p != wire.ICMPv6 {
+			return wire.Response{}
+		}
+		mk := isp.clientMachine(line)
+		// Most residential clients filter inbound ICMPv6 ("outbound
+		// only", RFC 7084): only ~1 in 5 respond at all.
+		if !chance(hash2(mk, 0xf117e8), 0.22) {
+			return wire.Response{}
+		}
+		if !clientOnline(mk, day, at) {
+			return wire.Response{}
+		}
+		return in.answer(mk, mk, dstKey, p, day, at, nw.pathLen+1, nw.jitter)
+	}
+	return wire.Response{}
+}
+
+// answer builds a positive response with fingerprint data.
+func (in *Internet) answer(machineKey, effKey, dstKey uint64, p wire.Proto, day int, at wire.Time, path uint8, ttlFlip bool) wire.Response {
+	m := newMachine(effKey)
+	ittl := m.iTTL
+	if ttlFlip && dstKey&1 == 1 {
+		if ittl == 64 {
+			ittl = 255
+		} else {
+			ittl = 64
+		}
+	}
+	hops := path
+	// On-path TTL jitter for a third of probes when flagged.
+	if jh := hash3(in.key^0x771, dstKey, uint64(at)); ttlFlip == false && jh%3 == 0 {
+		hops += uint8(jh >> 8 % 2)
+	}
+	hl := uint8(1)
+	if ittl > hops {
+		hl = ittl - hops
+	}
+	resp := wire.Response{OK: true, HopLimit: hl}
+	if p.IsTCP() {
+		resp.TCP = m.tcpAnswer(dstKey, day, at)
+	}
+	return resp
+}
+
+// networkOf returns per-announcement metadata covering addr.
+func (in *Internet) networkOf(addr ip6.Addr) *network {
+	_, nw, ok := in.netT.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	return nw
+}
+
+// rngFor derives a deterministic rand.Rand for a construction sub-task.
+func (in *Internet) rngFor(tag uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(hash2(in.key, tag))))
+}

@@ -1,0 +1,490 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// Scheme is the addressing-scheme archetype of a network. The six values
+// correspond to the six entropy clusters of Figure 2a: the point of the
+// paper's clustering experiment is to rediscover exactly this structure
+// from probe data alone.
+type Scheme uint8
+
+// Addressing schemes.
+const (
+	// SchemeCounter: IIDs are small counters (::1, ::2, …) in very few
+	// subnets — entropy ≈ 0 everywhere except the last nybbles.
+	SchemeCounter Scheme = iota
+	// SchemeStructured: subnets enumerate a plan and IIDs encode
+	// service/rack/port — moderate entropy across several nybble groups.
+	SchemeStructured
+	// SchemeRandomIID: pseudo-random IIDs (privacy extensions, hashes) —
+	// high entropy in nybbles 17-32.
+	SchemeRandomIID
+	// SchemeRandomFull: random subnet and IID (fully scattered plans).
+	SchemeRandomFull
+	// SchemeEUI64Single: SLAAC MAC-based IIDs, single dominant vendor —
+	// ff:fe marker at nybbles 23-26, low entropy in the OUI nybbles.
+	SchemeEUI64Single
+	// SchemeEUI64Multi: SLAAC MAC-based IIDs from many vendors.
+	SchemeEUI64Multi
+	// NumSchemes is the number of archetypes.
+	NumSchemes = 6
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCounter:
+		return "counter"
+	case SchemeStructured:
+		return "structured"
+	case SchemeRandomIID:
+		return "random-iid"
+	case SchemeRandomFull:
+		return "random-full"
+	case SchemeEUI64Single:
+		return "eui64-single"
+	case SchemeEUI64Multi:
+		return "eui64-multi"
+	default:
+		return "scheme?"
+	}
+}
+
+// schemeWeights reproduces the cluster popularity of Figure 2a: counters
+// dominate, structured second, then pseudo-random, then MAC-based.
+var schemeWeights = []float64{0.46, 0.22, 0.15, 0.07, 0.07, 0.03}
+
+// plan builds the whole world: per-announcement metadata, alias regions,
+// server farms, routers, subscriber pools, Atlas probes and Bitcoin nodes.
+func (in *Internet) plan() {
+	anns := in.Table.Announcements()
+
+	// Group announcements per AS so roles can be assigned per operator.
+	byAS := map[bgp.ASN][]ip6.Prefix{}
+	for _, a := range anns {
+		byAS[a.Origin] = append(byAS[a.Origin], a.Prefix)
+	}
+
+	// Per-announcement network metadata.
+	for _, a := range anns {
+		info := in.Table.AS(a.Origin)
+		key := hash3(in.key, uint64(a.Origin), a.Prefix.Addr().Hi())
+		nw := &network{
+			prefix:  a.Prefix,
+			asn:     a.Origin,
+			kind:    info.Kind,
+			key:     key,
+			pathLen: uint8(3 + key%9),
+			jitter:  chance(mix64(key^1), 0.28),
+			loss:    0.004 + unit(mix64(key^2))*0.016,
+			// One operator, one addressing plan: all announcements of an
+			// AS share a scheme (the homogeneity Fig. 3b observes).
+			scheme: pickScheme(hash2(in.key, uint64(a.Origin))),
+		}
+		if chance(mix64(key^3), 0.03) {
+			nw.loss = 0.08 + unit(mix64(key^4))*0.2 // high-loss networks (§5.2)
+		}
+		in.nets = append(in.nets, nw)
+		in.netT.Insert(a.Prefix, nw)
+	}
+
+	domainID := uint32(1)
+	nextDomain := func() uint32 { d := domainID; domainID++; return d }
+
+	for _, nw := range in.nets {
+		switch nw.kind {
+		case bgp.KindISP:
+			in.planISP(nw, byAS[nw.asn])
+		default:
+			in.planFarm(nw, nextDomain)
+		}
+		in.planRouters(nw)
+	}
+
+	in.planAliases(nextDomain)
+	in.planAtlas()
+	in.planBitnodes()
+	in.planTier1()
+	in.planRDNS(nextDomain)
+}
+
+func pickScheme(key uint64) Scheme {
+	r := unit(mix64(key ^ 0x5c3e3e))
+	acc := 0.0
+	for i, w := range schemeWeights {
+		acc += w
+		if r < acc {
+			return Scheme(i)
+		}
+	}
+	return SchemeCounter
+}
+
+// lognormalInt draws a deterministic lognormal-ish integer with the given
+// median and spread.
+func lognormalInt(rng *rand.Rand, median float64, sigma float64) int {
+	v := median * math.Exp(rng.NormFloat64()*sigma)
+	if v < 1 {
+		v = 1
+	}
+	return int(v)
+}
+
+// deathDay draws the day a host stops responding: geometric with daily
+// rate p, or -1 if beyond the simulation horizon.
+func deathDay(h uint64, p float64, horizon int) int16 {
+	if p <= 0 {
+		return -1
+	}
+	u := unit(h)
+	d := int(math.Log(1-u)/math.Log(1-p)) + 1
+	if d > horizon {
+		return -1
+	}
+	return int16(d)
+}
+
+// farmSubnet picks subnet s of a farm given its scheme.
+func farmSubnet(nw *network, s uint64) ip6.Prefix {
+	switch nw.scheme {
+	case SchemeRandomFull:
+		return nw.prefix.Subprefix(64, hash2(nw.key^0x50b4e7, s))
+	case SchemeStructured:
+		// Subnet plan: an enumerated row of /64s starting at a round base.
+		return nw.prefix.Subprefix(64, 0x100+s)
+	default:
+		return nw.prefix.Subprefix(64, s)
+	}
+}
+
+// hostIID derives host i's IID under the network's scheme.
+func hostIID(nw *network, subnet ip6.Prefix, i uint64) ip6.Addr {
+	base := subnet.Addr()
+	switch nw.scheme {
+	case SchemeCounter:
+		return ip6.AddrFromUint64(base.Hi(), i+1)
+	case SchemeStructured:
+		// service nybble + rack byte + counter: e.g. ::a:2:0:N.
+		svc := hash2(nw.key^0x57c, i%4)%6 + 1
+		return ip6.AddrFromUint64(base.Hi(), svc<<40|(i/16)<<16|i%16+1)
+	case SchemeRandomIID, SchemeRandomFull:
+		iid := hash2(nw.key^0x4a4d, i)
+		if iid>>24&0xffff == 0xfffe {
+			iid ^= 0x1111 << 24
+		}
+		return ip6.AddrFromUint64(base.Hi(), iid)
+	case SchemeEUI64Single:
+		oui := [3]byte{0x00, 0x0c, 0x29} // single vendor (VMware-style farm)
+		h := hash2(nw.key^0xe64, i)
+		mac := [6]byte{oui[0], oui[1], oui[2], byte(h >> 16), byte(h >> 8), byte(h)}
+		return ip6.FromMAC(base, mac)
+	case SchemeEUI64Multi:
+		h := hash2(nw.key^0xe65, i)
+		mac := [6]byte{byte(h >> 40), byte(h >> 32), byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h)}
+		mac[0] &^= 0x01 // unicast
+		return ip6.FromMAC(base, mac)
+	}
+	return ip6.AddrFromUint64(base.Hi(), i+1)
+}
+
+// planFarm populates a hosting/CDN/service/academic network with servers
+// plus stale sibling addresses (old DNS records that no longer respond).
+func (in *Internet) planFarm(nw *network, nextDomain func() uint32) {
+	rng := rand.New(rand.NewSource(int64(nw.key)))
+	scale := in.cfg.Scale
+
+	var median float64
+	switch {
+	case nw.asn == bgp.FindASN("Amazon"):
+		median = 1200
+	case nw.asn == bgp.FindASN("Akamai") || nw.asn == bgp.FindASN("Cloudflare"):
+		median = 700
+	case nw.asn == bgp.FindASN("Google") || nw.asn == bgp.FindASN("HDNet"):
+		median = 400
+	case nw.kind == bgp.KindHoster || nw.kind == bgp.KindCloud:
+		median = 14
+	case nw.kind == bgp.KindCDN:
+		median = 40
+	case nw.kind == bgp.KindInternetService:
+		median = 18
+	default: // academic, enterprise
+		median = 8
+	}
+	// Only the first announcement of small operators hosts a farm; big
+	// ones host on every /32 announcement but not on each tiny /48.
+	if nw.prefix.Bits() > 40 && !chance(mix64(nw.key^7), 0.25) {
+		return
+	}
+	n := int(float64(lognormalInt(rng, median, 0.9)) * scale)
+	if n <= 0 {
+		return
+	}
+
+	quicFlaky := nw.asn == bgp.FindASN("Akamai") || nw.asn == bgp.FindASN("HDNet")
+	// A quarter of sizable pools are one machine with many bound
+	// addresses (the §5.4 validation deep-dive population).
+	cloned := n >= 16 && chance(mix64(nw.key^8), 0.25)
+	clonedKey := hash2(nw.key, 0xc104ed)
+
+	perSubnet := 200
+	if nw.scheme == SchemeRandomFull {
+		perSubnet = 30
+	}
+	for i := 0; i < n; i++ {
+		subnet := farmSubnet(nw, uint64(i/perSubnet))
+		addr := hostIID(nw, subnet, uint64(i%perSubnet))
+		hk := hashAddr(nw.key, addr)
+
+		serves := wire.RespMask(0)
+		serves.Set(wire.ICMPv6)
+		isDNS := chance(mix64(hk^1), dnsShare(nw.kind))
+		if isDNS {
+			serves.Set(wire.UDP53)
+			if chance(mix64(hk^2), 0.14) {
+				serves.Set(wire.TCP80)
+			}
+		} else {
+			serves.Set(wire.TCP80)
+			if chance(mix64(hk^3), 0.62) {
+				serves.Set(wire.TCP443)
+				if chance(mix64(hk^4), 0.30) || quicFlaky {
+					serves.Set(wire.UDP443)
+				}
+			}
+		}
+		// A small share of hosts drop ICMP at the border.
+		if chance(mix64(hk^5), 0.05) {
+			m := serves
+			m &^= 1 << wire.ICMPv6
+			if m != 0 {
+				serves = m
+			}
+		}
+		mk := hash2(nw.key, uint64(i))
+		if cloned {
+			mk = clonedKey
+		}
+		class := ClassWebServer
+		if isDNS {
+			class = ClassDNSServer
+		}
+		in.addHost(Host{
+			Addr:      addr,
+			ASN:       nw.asn,
+			Class:     class,
+			Serves:    serves,
+			Machine:   mk,
+			DeathDay:  deathDay(mix64(hk^6), 0.0012, 3*in.Horizon()),
+			QUICFlaky: quicFlaky,
+			Domain:    nextDomain(),
+		})
+	}
+	// Stale siblings: the counter continued past the live range in old
+	// DNS records; they resolve but do not respond.
+	nStale := int(float64(n) * (1.0 + unit(mix64(nw.key^9))*1.5))
+	for i := 0; i < nStale; i++ {
+		subnet := farmSubnet(nw, uint64((n+i)/perSubnet))
+		addr := hostIID(nw, subnet, uint64((n+i)%perSubnet))
+		in.stale = append(in.stale, StaleRecord{Addr: addr, ASN: nw.asn, Domain: nextDomain()})
+	}
+}
+
+func dnsShare(k bgp.Kind) float64 {
+	switch k {
+	case bgp.KindInternetService:
+		return 0.30
+	case bgp.KindHoster:
+		return 0.18
+	case bgp.KindCloud:
+		return 0.10
+	default:
+		return 0.08
+	}
+}
+
+// planRouters adds core/border routers in the operator's router subnet.
+func (in *Internet) planRouters(nw *network) {
+	// Routers only on the covering announcement (not every /48).
+	if nw.prefix.Bits() > 36 {
+		return
+	}
+	n := 2 + int(hash2(nw.key, 0x4007e4)%6)
+	sub := nw.prefix.Subprefix(64, 0xffff)
+	for i := 0; i < n; i++ {
+		addr := ip6.AddrFromUint64(sub.Addr().Hi(), uint64(i)+1)
+		var serves wire.RespMask
+		serves.Set(wire.ICMPv6)
+		in.addHost(Host{
+			Addr:     addr,
+			ASN:      nw.asn,
+			Class:    ClassRouter,
+			Serves:   serves,
+			Machine:  hash2(nw.key^0x4007, uint64(i)),
+			DeathDay: -1,
+		})
+	}
+}
+
+// planISP attaches a subscriber-line pool to the operator's first (widest)
+// announcement.
+func (in *Internet) planISP(nw *network, all []ip6.Prefix) {
+	// Only the covering announcement carries the pool.
+	if len(all) > 0 && nw.prefix != all[0] {
+		// Secondary announcements behave like small farms occasionally.
+		if chance(mix64(nw.key^0x15b), 0.2) {
+			in.planFarm(nw, func() uint32 { return 0 })
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(int64(nw.key ^ 0x115b)))
+	scale := in.cfg.Scale
+	var lines int
+	switch nw.asn {
+	case bgp.FindASN("DTAG"), bgp.FindASN("Comcast"), bgp.FindASN("ProXad"), bgp.FindASN("AT&T"), bgp.FindASN("Reliance"):
+		lines = int(2800 * scale)
+	case bgp.FindASN("Swisscom"), bgp.FindASN("Antel"), bgp.FindASN("Versatel"), bgp.FindASN("BIHNET"),
+		bgp.FindASN("Sky Broadband"), bgp.FindASN("Google Fiber"), bgp.FindASN("Xs4all"), bgp.FindASN("ZTE Home"):
+		lines = int(1200 * scale)
+	default:
+		lines = int(float64(lognormalInt(rng, 34, 1.0)) * scale)
+	}
+	if lines < 4 {
+		lines = 4
+	}
+	bits := 2
+	for 1<<bits < lines*4 {
+		bits++
+	}
+	span := 56 - nw.prefix.Bits()
+	if bits > span {
+		bits = span
+	}
+	rotate := 0
+	// Half of the large European ISPs renumber aggressively (DE/FR DSL).
+	cc := in.Table.AS(nw.asn).Country
+	if (cc == "DE" || cc == "FR" || cc == "CH" || cc == "AT" || cc == "PL") && chance(mix64(nw.key^0x407a), 0.75) {
+		rotate = 1 + int(hash2(nw.key, 0x707)%3)
+	} else if chance(mix64(nw.key^0x407b), 0.15) {
+		rotate = 2 + int(hash2(nw.key, 0x708)%5)
+	}
+	g := hash2(nw.key, 0x6) | 1
+	nw.isp = &lineISP{
+		key:         hash2(nw.key, 0x11e5),
+		asn:         nw.asn,
+		base:        nw.prefix,
+		lines:       lines,
+		bits:        bits,
+		mulG:        g,
+		invG:        invOdd(g),
+		rotate:      rotate,
+		hostShare:   0.12 + unit(mix64(nw.key^0xd0))*0.18,
+		clientShare: 0.3 + unit(mix64(nw.key^0xc1))*0.3,
+	}
+}
+
+// planAtlas scatters RIPE-Atlas-style probes over most ASes — the
+// balanced, router-and-probe-flavoured source of §3.
+func (in *Internet) planAtlas() {
+	n := 0
+	for _, nw := range in.nets {
+		if nw.prefix.Bits() > 36 {
+			continue
+		}
+		if !chance(mix64(nw.key^0xa71a5), 0.55) {
+			continue
+		}
+		probes := 1 + int(hash2(nw.key, 0xa7)%3)
+		sub := nw.prefix.Subprefix(64, 0xa71a)
+		for i := 0; i < probes; i++ {
+			iid := hash2(nw.key^0xa71a50, uint64(i)) | 1
+			if iid>>24&0xffff == 0xfffe {
+				iid ^= 0x2222 << 24
+			}
+			addr := ip6.AddrFromUint64(sub.Addr().Hi(), iid)
+			var serves wire.RespMask
+			serves.Set(wire.ICMPv6)
+			in.addHost(Host{
+				Addr:     addr,
+				ASN:      nw.asn,
+				Class:    ClassAtlas,
+				Serves:   serves,
+				Machine:  hash2(nw.key^0xa71a51, uint64(i)),
+				DeathDay: deathDay(hash2(nw.key^0xa71a52, uint64(i)), 0.0008, 3*in.Horizon()),
+			})
+			n++
+		}
+	}
+}
+
+// planBitnodes places always-on Bitcoin peers on static subscriber lines
+// and small hosters.
+func (in *Internet) planBitnodes() {
+	target := int(300 * in.cfg.Scale)
+	placed := 0
+	for _, nw := range in.nets {
+		if placed >= target {
+			return
+		}
+		if nw.isp == nil || nw.isp.rotate != 0 {
+			continue
+		}
+		k := 1 + int(hash2(nw.key, 0xb17)%3)
+		for i := 0; i < k && placed < target; i++ {
+			line := hash2(nw.isp.key^0xb17c, uint64(i)) % uint64(nw.isp.lines)
+			p56 := nw.isp.linePrefix(line, 0)
+			sub := p56.Subprefix(64, 2)
+			iid := hash2(nw.isp.key^0xb17d, line)
+			if iid>>24&0xffff == 0xfffe {
+				iid ^= 0x3333 << 24
+			}
+			addr := ip6.AddrFromUint64(sub.Addr().Hi(), iid)
+			var serves wire.RespMask
+			serves.Set(wire.ICMPv6)
+			if chance(mix64(iid), 0.5) {
+				serves.Set(wire.TCP80) // some run web panels
+			}
+			in.addHost(Host{
+				Addr:     addr,
+				ASN:      nw.asn,
+				Class:    ClassBitnode,
+				Serves:   serves,
+				Machine:  hash2(nw.isp.key^0xb17e, line),
+				DeathDay: deathDay(hash2(nw.isp.key^0xb17f, line), 0.016, 3*in.Horizon()),
+			})
+			placed++
+		}
+	}
+}
+
+// planTier1 creates the shared transit routers traceroute paths traverse.
+func (in *Internet) planTier1() {
+	// Reuse the router subnets of the first eight ISP pools as "transit".
+	count := 0
+	for _, nw := range in.nets {
+		if nw.isp == nil {
+			continue
+		}
+		sub := nw.prefix.Subprefix(64, 0xffff)
+		for i := 0; i < 8; i++ {
+			addr := ip6.AddrFromUint64(sub.Addr().Hi(), 0x100+uint64(i))
+			var serves wire.RespMask
+			serves.Set(wire.ICMPv6)
+			in.addHost(Host{
+				Addr: addr, ASN: nw.asn, Class: ClassRouter,
+				Serves: serves, Machine: hash2(nw.key^0x7137, uint64(i)), DeathDay: -1,
+			})
+			in.tier1 = append(in.tier1, addr)
+		}
+		count++
+		if count == 8 {
+			return
+		}
+	}
+}

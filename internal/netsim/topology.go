@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+)
+
+// Traceroute topology. Paths are deterministic per (destination network,
+// day): a couple of shared transit routers, then the destination
+// operator's core routers, then — for subscriber space — the line's CPE.
+// This is the substrate for the scamper source (§3) whose router-address
+// harvest is dominated by SLAAC home routers.
+
+// Hop is one traceroute hop.
+type Hop struct {
+	Addr ip6.Addr
+	ASN  bgp.ASN
+}
+
+// TraceroutePath returns the responsive intermediate hops towards dst on
+// the given day, excluding dst itself. Unrouted destinations yield only
+// transit hops. Some hops are silent (anonymous routers) and omitted, as
+// in real traceroutes.
+func (in *Internet) TraceroutePath(dst ip6.Addr, day int) []Hop {
+	var path []Hop
+	dk := hashAddr(in.key^0x7e4ace, dst)
+
+	// Transit: 2-3 of the tier-1 routers, selected by destination ASN so
+	// paths are stable but diverse.
+	asn, _ := in.Table.Origin(dst)
+	tk := hash3(in.key^0x7e4a, uint64(asn), dk%4) // mild path diversity
+	nTransit := 2 + int(tk%2)
+	for i := 0; i < nTransit && len(in.tier1) > 0; i++ {
+		idx := hash3(tk, uint64(i), 0) % uint64(len(in.tier1))
+		a := in.tier1[idx]
+		if h, ok := in.HostAt(a); ok {
+			path = append(path, Hop{Addr: a, ASN: h.ASN})
+		}
+	}
+
+	nw := in.networkOf(dst)
+	if nw == nil {
+		return path
+	}
+	// Destination network core routers: 1-3 from the router subnet.
+	sub := coveringRouterSubnet(in, nw)
+	if !sub.IsZero() {
+		n := 1 + int(hash2(nw.key, dk%8)%3)
+		for i := 0; i < n; i++ {
+			a := ip6.AddrFromUint64(sub.Addr().Hi(), 1+hash3(nw.key, dk%4, uint64(i))%6)
+			if h, ok := in.HostAt(a); ok {
+				// Anonymous-router probability.
+				if !chance(hash3(in.key^0xa404, hashAddr(in.key, a), uint64(day/7)), 0.15) {
+					path = append(path, Hop{Addr: a, ASN: h.ASN})
+				}
+			}
+		}
+	}
+	// Last hop before subscriber targets: the line's CPE. The pool hangs
+	// off the covering announcement, so resolve with the shortest match.
+	if _, poolNw, ok := in.netT.LookupShortest(dst); ok && poolNw.isp != nil {
+		if line, ok := lineContaining(poolNw.isp, dst, day); ok {
+			cpe := poolNw.isp.cpeAddr(line, day)
+			if cpe != dst {
+				path = append(path, Hop{Addr: cpe, ASN: poolNw.asn})
+			}
+		}
+	}
+	return path
+}
+
+// coveringRouterSubnet finds the router /64 of the announcement covering
+// the network (routers live on announcements of length <= 36).
+func coveringRouterSubnet(in *Internet, nw *network) ip6.Prefix {
+	if nw.prefix.Bits() <= 36 {
+		return nw.prefix.Subprefix(64, 0xffff)
+	}
+	// Find a shorter covering announcement of the same AS.
+	for _, cand := range in.nets {
+		if cand.asn == nw.asn && cand.prefix.Bits() <= 36 && cand.prefix.Overlaps(nw.prefix) {
+			return cand.prefix.Subprefix(64, 0xffff)
+		}
+	}
+	return ip6.Prefix{}
+}
+
+// lineContaining returns the line whose current /56 contains dst.
+func lineContaining(l *lineISP, dst ip6.Addr, day int) (uint64, bool) {
+	if !l.base.Contains(dst) {
+		return 0, false
+	}
+	span := 56 - l.base.Bits()
+	slot := dst.Hi() >> 8 & (1<<span - 1)
+	if l.bits < span && slot>>l.bits != 0 {
+		return 0, false
+	}
+	return l.lineOf(slot, l.rotEpoch(day))
+}

@@ -1,0 +1,246 @@
+// Package probe implements the measurement engine of the pipeline — the
+// role ZMapv6 plays in the paper (§6). It scans target lists over the five
+// probe protocols, with ZMap-style address-space permutation (so probes to
+// the same network are spread over the scan), token-bucket pacing mapped
+// onto virtual send times, a concurrent worker pool, and a TCP options
+// module that records fingerprint data (§5.4).
+//
+// The engine is generic over wire.Responder: production code plugs in the
+// simulated Internet, tests plug in fakes.
+package probe
+
+import (
+	"sync"
+
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// Result is the outcome of probing one target on one protocol.
+type Result struct {
+	Addr     ip6.Addr
+	Proto    wire.Proto
+	OK       bool
+	HopLimit uint8
+	TCP      *wire.TCPInfo
+	SentAt   wire.Time
+}
+
+// Scanner is a reusable scanning engine. The zero value is not usable;
+// construct with New.
+type Scanner struct {
+	responder wire.Responder
+	rate      int // probes per virtual second
+	workers   int
+	retries   int // additional attempts for unanswered probes
+	seed      uint64
+}
+
+// Option configures a Scanner.
+type Option func(*Scanner)
+
+// WithRate sets the probe rate in packets per virtual second (default
+// 100k, the paper's conservative ZMapv6 speed).
+func WithRate(pps int) Option {
+	return func(s *Scanner) {
+		if pps > 0 {
+			s.rate = pps
+		}
+	}
+}
+
+// WithWorkers sets the number of concurrent senders (default 8).
+func WithWorkers(n int) Option {
+	return func(s *Scanner) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithRetries sets how many times an unanswered probe is retried
+// (default 0 — ZMap sends a single stateless probe).
+func WithRetries(n int) Option {
+	return func(s *Scanner) {
+		if n >= 0 {
+			s.retries = n
+		}
+	}
+}
+
+// WithSeed sets the permutation seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(s *Scanner) { s.seed = seed }
+}
+
+// New creates a Scanner probing via r.
+func New(r wire.Responder, opts ...Option) *Scanner {
+	s := &Scanner{responder: r, rate: 100_000, workers: 8, retries: 0, seed: 1}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// interval returns the virtual microseconds between consecutive probes.
+func (s *Scanner) interval() wire.Time {
+	iv := wire.Time(1_000_000 / s.rate)
+	if iv == 0 {
+		iv = 1
+	}
+	return iv
+}
+
+// Scan probes every target once (plus retries) on the given protocol
+// during the given day. Results are returned in target order; the probe
+// ORDER over the wire follows a pseudo-random permutation, like ZMap's
+// address randomization, so bursts never hammer one prefix.
+func (s *Scanner) Scan(targets []ip6.Addr, proto wire.Proto, day int) []Result {
+	results := make([]Result, len(targets))
+	perm := NewPermutation(len(targets), s.seed^uint64(proto)<<32^uint64(day))
+	iv := s.interval()
+
+	var wg sync.WaitGroup
+	chunk := (len(targets) + s.workers - 1) / s.workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for w := 0; w < s.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Each worker walks its slice of the *permuted* sequence;
+			// the sequence position fixes the virtual send time, so
+			// results are identical regardless of worker count.
+			for seq := lo; seq < hi; seq++ {
+				idx := perm.At(seq)
+				addr := targets[idx]
+				at := wire.Time(seq) * iv
+				r := s.probeOnce(addr, proto, day, at)
+				for a := 0; !r.OK && a < s.retries; a++ {
+					at += wire.Time(len(targets)) * iv // retry pass later
+					r = s.probeOnce(addr, proto, day, at)
+				}
+				results[idx] = r
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+func (s *Scanner) probeOnce(addr ip6.Addr, proto wire.Proto, day int, at wire.Time) Result {
+	resp := s.responder.Probe(addr, proto, day, at)
+	return Result{
+		Addr: addr, Proto: proto,
+		OK: resp.OK, HopLimit: resp.HopLimit, TCP: resp.TCP,
+		SentAt: at,
+	}
+}
+
+// Sweep probes every target on all five protocols and aggregates a
+// responsiveness mask per target (the paper's daily responsiveness scan).
+func (s *Scanner) Sweep(targets []ip6.Addr, day int) []wire.RespMask {
+	masks := make([]wire.RespMask, len(targets))
+	for _, p := range wire.Protos {
+		res := s.Scan(targets, p, day)
+		for i, r := range res {
+			if r.OK {
+				masks[i].Set(p)
+			}
+		}
+	}
+	return masks
+}
+
+// Pair holds the two consecutive fingerprint probes of §5.4.
+type Pair struct {
+	First, Second Result
+}
+
+// ProbePairs sends two back-to-back TCP probes with the options module to
+// every target, for fingerprint consistency analysis.
+func (s *Scanner) ProbePairs(targets []ip6.Addr, proto wire.Proto, day int) []Pair {
+	out := make([]Pair, len(targets))
+	iv := s.interval()
+	perm := NewPermutation(len(targets), s.seed^0xfb^uint64(day))
+	var wg sync.WaitGroup
+	chunk := (len(targets) + s.workers - 1) / s.workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for w := 0; w < s.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for seq := lo; seq < hi; seq++ {
+				idx := perm.At(seq)
+				at := wire.Time(seq) * iv * 2
+				out[idx] = Pair{
+					First:  s.probeOnce(targets[idx], proto, day, at),
+					Second: s.probeOnce(targets[idx], proto, day, at+iv),
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Permutation is a pseudo-random permutation of [0,n), the ZMap-style
+// address randomizer: it visits every index exactly once in an order
+// uncorrelated with numeric target order, using an affine walk over the
+// next power of two with out-of-range skipping.
+type Permutation struct {
+	n     int
+	mask  uint64
+	mul   uint64
+	add   uint64
+	cache []uint32 // materialized order (n is bounded by target lists)
+}
+
+// NewPermutation builds the permutation for n elements from a seed.
+func NewPermutation(n int, seed uint64) *Permutation {
+	p := &Permutation{n: n}
+	size := uint64(1)
+	for size < uint64(n) {
+		size <<= 1
+	}
+	p.mask = size - 1
+	h := seed
+	h = h*0x9e3779b97f4a7c15 + 0x85ebca6b
+	p.mul = h<<1 | 1 // odd ⇒ bijective over 2^k
+	p.add = h >> 17
+	// Materialize: the affine walk visits each slot of [0,2^k) once;
+	// indices >= n are skipped. Materializing keeps At() O(1) for the
+	// concurrent workers.
+	p.cache = make([]uint32, 0, n)
+	for i := uint64(0); i <= p.mask && len(p.cache) < n; i++ {
+		v := (i*p.mul + p.add) & p.mask
+		if v < uint64(n) {
+			p.cache = append(p.cache, uint32(v))
+		}
+	}
+	return p
+}
+
+// At returns the target index at sequence position seq.
+func (p *Permutation) At(seq int) int { return int(p.cache[seq]) }
+
+// Len returns the number of elements.
+func (p *Permutation) Len() int { return p.n }

@@ -1,0 +1,69 @@
+// Package rdns implements reverse-DNS tree walking (§8): a depth-first
+// enumeration of the ip6.arpa tree that relies on NXDOMAIN semantics to
+// prune empty subtrees, the technique of Fiebig et al. that the paper
+// evaluates as an additional hitlist source.
+package rdns
+
+import (
+	"expanse/internal/dnssim"
+	"expanse/internal/ip6"
+)
+
+// Result summarizes one walk.
+type Result struct {
+	// Addrs are the addresses with PTR records, in discovery order.
+	Addrs []ip6.Addr
+	// Queries is the number of DNS queries issued — the "strain on
+	// important Internet infrastructure" that makes this source
+	// semi-public (§8).
+	Queries int
+}
+
+// Walk enumerates the whole tree.
+func Walk(t *dnssim.RTree) Result {
+	return WalkUnder(t, nil)
+}
+
+// WalkUnder enumerates the subtree beneath the given nybble path prefix
+// (MSB-first). A nil prefix walks from the root.
+func WalkUnder(t *dnssim.RTree, prefix []byte) Result {
+	t.ResetQueries()
+	var res Result
+	path := make([]byte, len(prefix), 32)
+	copy(path, prefix)
+	// Confirm the starting point exists (as a real walker would).
+	switch t.Query(path) {
+	case dnssim.NXDomain:
+		res.Queries = t.Queries()
+		return res
+	case dnssim.HasPTR:
+		if len(path) == 32 {
+			res.Addrs = append(res.Addrs, addrFromNybbles(path))
+			res.Queries = t.Queries()
+			return res
+		}
+	}
+	walk(t, path, &res)
+	res.Queries = t.Queries()
+	return res
+}
+
+func walk(t *dnssim.RTree, path []byte, res *Result) {
+	for d := byte(0); d < 16; d++ {
+		child := append(path, d)
+		switch t.Query(child) {
+		case dnssim.NXDomain:
+			// Prune: nothing anywhere below this label.
+		case dnssim.HasPTR:
+			res.Addrs = append(res.Addrs, addrFromNybbles(child))
+		case dnssim.NoErrorEmpty:
+			walk(t, child, res)
+		}
+	}
+}
+
+func addrFromNybbles(path []byte) ip6.Addr {
+	var n [32]byte
+	copy(n[:], path)
+	return ip6.AddrFromNybbles(n)
+}

@@ -1,0 +1,95 @@
+package rdns
+
+import (
+	"testing"
+
+	"expanse/internal/dnssim"
+	"expanse/internal/ip6"
+)
+
+func TestWalkRecoversAll(t *testing.T) {
+	addrs := []ip6.Addr{
+		ip6.MustParseAddr("2001:db8::1"),
+		ip6.MustParseAddr("2001:db8::2"),
+		ip6.MustParseAddr("2001:db8:0:1::9"),
+		ip6.MustParseAddr("2001:dead::5"),
+		ip6.MustParseAddr("fe80::1234"),
+	}
+	tr := dnssim.NewRTree(addrs)
+	res := Walk(tr)
+	if len(res.Addrs) != len(addrs) {
+		t.Fatalf("recovered %d addresses, want %d", len(res.Addrs), len(addrs))
+	}
+	want := map[ip6.Addr]bool{}
+	for _, a := range addrs {
+		want[a] = true
+	}
+	for _, a := range res.Addrs {
+		if !want[a] {
+			t.Errorf("unexpected address %v", a)
+		}
+	}
+	if res.Queries == 0 {
+		t.Error("no queries counted")
+	}
+	// Pruning bound: far fewer queries than brute force (16^32), and
+	// linear-ish in entries: <= entries * 32 * 16 + slack.
+	if res.Queries > len(addrs)*32*16+16 {
+		t.Errorf("walk issued %d queries, pruning broken", res.Queries)
+	}
+}
+
+func TestWalkEmptyTree(t *testing.T) {
+	tr := dnssim.NewRTree(nil)
+	res := Walk(tr)
+	if len(res.Addrs) != 0 {
+		t.Error("empty tree yielded addresses")
+	}
+}
+
+func TestWalkUnderSubtree(t *testing.T) {
+	addrs := []ip6.Addr{
+		ip6.MustParseAddr("2001:db8::1"),
+		ip6.MustParseAddr("3001:db8::1"),
+	}
+	tr := dnssim.NewRTree(addrs)
+	// Walk only under 2xxx.
+	res := WalkUnder(tr, []byte{2})
+	if len(res.Addrs) != 1 || res.Addrs[0] != addrs[0] {
+		t.Errorf("subtree walk = %v", res.Addrs)
+	}
+	// Walking under a dead branch returns nothing quickly.
+	res = WalkUnder(tr, []byte{4})
+	if len(res.Addrs) != 0 || res.Queries != 1 {
+		t.Errorf("dead subtree: %d addrs, %d queries", len(res.Addrs), res.Queries)
+	}
+}
+
+func TestWalkDense(t *testing.T) {
+	// A dense /124-style block: all 16 leaves under one node.
+	base := ip6.MustParsePrefix("2001:db8::/124")
+	var addrs []ip6.Addr
+	for i := uint64(0); i < 16; i++ {
+		addrs = append(addrs, base.NthAddr(i))
+	}
+	tr := dnssim.NewRTree(addrs)
+	res := Walk(tr)
+	if len(res.Addrs) != 16 {
+		t.Errorf("dense walk found %d", len(res.Addrs))
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	var addrs []ip6.Addr
+	base := ip6.MustParsePrefix("2001:db8::/32")
+	rng := ip6.MustParsePrefix("2001:db9::/32")
+	_ = rng
+	for i := uint64(0); i < 2000; i++ {
+		addrs = append(addrs, base.NthAddr(i*7919))
+	}
+	tr := dnssim.NewRTree(addrs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Walk(tr)
+	}
+}

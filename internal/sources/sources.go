@@ -1,0 +1,381 @@
+// Package sources implements the seven hitlist collectors of §3 — domain
+// lists (DL), Rapid7 forward DNS (FDNS), Certificate Transparency (CT),
+// zone transfers (AXFR), Bitnodes (BIT), RIPE Atlas (RA), and scamper
+// traceroutes — plus the accumulating hitlist store with per-epoch runup
+// tracking (Figure 1a) and per-source statistics (Table 2).
+package sources
+
+import (
+	"sort"
+
+	"expanse/internal/bgp"
+	"expanse/internal/dnssim"
+	"expanse/internal/ip6"
+	"expanse/internal/netsim"
+)
+
+// Canonical source names, in the paper's table order.
+const (
+	DL      = "Domainlists"
+	FDNS    = "FDNS"
+	CT      = "CT"
+	AXFR    = "AXFR"
+	BIT     = "Bitnodes"
+	RA      = "RIPE Atlas"
+	Scamper = "Scamper"
+)
+
+// Names lists all sources in display order.
+var Names = []string{DL, FDNS, CT, AXFR, BIT, RA, Scamper}
+
+// Source produces addresses on collection days.
+type Source interface {
+	Name() string
+	// Collect returns the addresses visible to this source on the given
+	// day. hitlist is the current accumulated hitlist (used by scamper,
+	// which traceroutes all known targets).
+	Collect(day int, hitlist *ip6.Set) []ip6.Addr
+}
+
+func hashStr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// firstEpoch deterministically assigns the collection epoch at which a
+// name becomes visible to a source — this produces the cumulative runup
+// of Figure 1a.
+func firstEpoch(key string, salt string, epochs int) int {
+	if epochs <= 1 {
+		return 0
+	}
+	return int(hashStr(key+"|"+salt) % uint64(epochs))
+}
+
+// dnsSource is a generic forward-DNS-based collector.
+type dnsSource struct {
+	name    string
+	domains []dnssim.Domain
+	epochs  int
+	perDay  int
+}
+
+func (s *dnsSource) Name() string { return s.name }
+
+func (s *dnsSource) Collect(day int, _ *ip6.Set) []ip6.Addr {
+	epoch := day / s.perDay
+	var out []ip6.Addr
+	for i := range s.domains {
+		d := &s.domains[i]
+		if firstEpoch(d.Name, s.name, s.epochs) > epoch {
+			continue
+		}
+		out = append(out, d.Resolve(day))
+	}
+	return out
+}
+
+// NewDL builds the domain-lists source: zone files, toplists, blacklists.
+func NewDL(dns *dnssim.Server, cfg netsim.Config) Source {
+	return newDNSSource(DL, dns, cfg, func(d *dnssim.Domain) bool {
+		return d.Vis.Has(dnssim.VisZoneFile) || d.Vis.Has(dnssim.VisBlacklist)
+	})
+}
+
+// NewFDNS builds the Rapid7 forward-DNS ANY source.
+func NewFDNS(dns *dnssim.Server, cfg netsim.Config) Source {
+	return newDNSSource(FDNS, dns, cfg, func(d *dnssim.Domain) bool {
+		return d.Vis.Has(dnssim.VisFDNS)
+	})
+}
+
+// NewCT builds the Certificate Transparency source. Per the paper, names
+// already covered by the domain lists are excluded.
+func NewCT(dns *dnssim.Server, cfg netsim.Config) Source {
+	return newDNSSource(CT, dns, cfg, func(d *dnssim.Domain) bool {
+		return d.Vis.Has(dnssim.VisCT) && !d.Vis.Has(dnssim.VisZoneFile)
+	})
+}
+
+// NewAXFR builds the zone-transfer source (TLDR-style).
+func NewAXFR(dns *dnssim.Server, cfg netsim.Config) Source {
+	return newDNSSource(AXFR, dns, cfg, func(d *dnssim.Domain) bool {
+		return d.Vis.Has(dnssim.VisAXFR)
+	})
+}
+
+func newDNSSource(name string, dns *dnssim.Server, cfg netsim.Config, keep func(*dnssim.Domain) bool) Source {
+	s := &dnsSource{name: name, epochs: cfg.Epochs, perDay: cfg.EpochDays}
+	for _, d := range dns.Domains() {
+		if keep(&d) {
+			s.domains = append(s.domains, d)
+		}
+	}
+	return s
+}
+
+// bitnodesSource returns current Bitcoin peers (client addresses).
+type bitnodesSource struct {
+	hosts  []netsim.Host
+	epochs int
+	perDay int
+}
+
+// NewBitnodes builds the Bitnodes API source.
+func NewBitnodes(world *netsim.Internet) Source {
+	cfg := world.Config()
+	return &bitnodesSource{
+		hosts:  world.Hosts(netsim.ClassBitnode),
+		epochs: cfg.Epochs,
+		perDay: cfg.EpochDays,
+	}
+}
+
+func (s *bitnodesSource) Name() string { return BIT }
+
+func (s *bitnodesSource) Collect(day int, _ *ip6.Set) []ip6.Addr {
+	epoch := day / s.perDay
+	var out []ip6.Addr
+	for _, h := range s.hosts {
+		if firstEpoch(h.Addr.String(), BIT, s.epochs) > epoch {
+			continue
+		}
+		// The API only lists currently connected peers.
+		if h.DeathDay >= 0 && day >= int(h.DeathDay) {
+			continue
+		}
+		out = append(out, h.Addr)
+	}
+	return out
+}
+
+// atlasSource returns RIPE Atlas probe addresses and ipmap data.
+type atlasSource struct {
+	hosts  []netsim.Host
+	epochs int
+	perDay int
+}
+
+// NewAtlas builds the RIPE Atlas source (probes + traceroute/ipmap data).
+func NewAtlas(world *netsim.Internet) Source {
+	cfg := world.Config()
+	hosts := world.Hosts(netsim.ClassAtlas)
+	// Atlas's built-in traceroutes also surface some core routers.
+	routers := world.Hosts(netsim.ClassRouter)
+	for _, r := range routers {
+		if hashStr(r.Addr.String())%10 < 3 {
+			hosts = append(hosts, r)
+		}
+	}
+	return &atlasSource{hosts: hosts, epochs: cfg.Epochs, perDay: cfg.EpochDays}
+}
+
+func (s *atlasSource) Name() string { return RA }
+
+func (s *atlasSource) Collect(day int, _ *ip6.Set) []ip6.Addr {
+	epoch := day / s.perDay
+	var out []ip6.Addr
+	for _, h := range s.hosts {
+		if firstEpoch(h.Addr.String(), RA, s.epochs) <= epoch {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+// scamperSource traceroutes all known targets and harvests router hops.
+type scamperSource struct {
+	world *netsim.Internet
+}
+
+// NewScamper builds the traceroute source.
+func NewScamper(world *netsim.Internet) Source {
+	return &scamperSource{world: world}
+}
+
+func (s *scamperSource) Name() string { return Scamper }
+
+func (s *scamperSource) Collect(day int, hitlist *ip6.Set) []ip6.Addr {
+	if hitlist == nil {
+		return nil
+	}
+	seen := ip6.NewSet(1024)
+	hitlist.Each(func(a ip6.Addr) bool {
+		// The paper traceroutes every known address daily. Paths into
+		// datacenter space repeat the same few transit/core hops for
+		// thousands of targets, so tracing a deterministic 1-in-16
+		// sample there loses no router addresses in practice; subscriber
+		// space is always traced in full because each target can reveal
+		// a distinct CPE hop (performance substitution, see DESIGN.md).
+		if !s.world.InSubscriberSpace(a) && hashStr(a.String())%16 != 0 {
+			return true
+		}
+		for _, hop := range s.world.TraceroutePath(a, day) {
+			seen.Add(hop.Addr)
+		}
+		return true
+	})
+	return seen.Sorted()
+}
+
+// Store accumulates source output over collection epochs: addresses stay
+// on the hitlist indefinitely (§3: "IP addresses will stay indefinitely
+// in our scanning list").
+type Store struct {
+	sources []Source
+	perSrc  map[string]*ip6.Set // all addresses a source ever produced
+	newSrc  map[string]*ip6.Set // addresses first contributed by a source
+	all     *ip6.Set
+	runup   []RunupPoint
+}
+
+// RunupPoint is one epoch snapshot of cumulative source sizes (Fig. 1a).
+type RunupPoint struct {
+	Day        int
+	Cumulative map[string]int // per source: len(perSrc)
+	Total      int
+}
+
+// NewStore creates a store over the given sources (order = priority for
+// "new address" attribution, mirroring Table 2's source order).
+func NewStore(srcs ...Source) *Store {
+	st := &Store{
+		sources: srcs,
+		perSrc:  map[string]*ip6.Set{},
+		newSrc:  map[string]*ip6.Set{},
+		all:     ip6.NewSet(4096),
+	}
+	for _, s := range srcs {
+		st.perSrc[s.Name()] = ip6.NewSet(1024)
+		st.newSrc[s.Name()] = ip6.NewSet(1024)
+	}
+	return st
+}
+
+// CollectDay runs every source for one collection day and accumulates.
+func (st *Store) CollectDay(day int) {
+	for _, s := range st.sources {
+		addrs := s.Collect(day, st.all)
+		per := st.perSrc[s.Name()]
+		nw := st.newSrc[s.Name()]
+		for _, a := range addrs {
+			per.Add(a)
+			if st.all.Add(a) {
+				nw.Add(a)
+			}
+		}
+	}
+	pt := RunupPoint{Day: day, Cumulative: map[string]int{}, Total: st.all.Len()}
+	for name, set := range st.perSrc {
+		pt.Cumulative[name] = set.Len()
+	}
+	st.runup = append(st.runup, pt)
+}
+
+// All returns the accumulated hitlist.
+func (st *Store) All() *ip6.Set { return st.all }
+
+// PerSource returns a source's accumulated address set.
+func (st *Store) PerSource(name string) *ip6.Set { return st.perSrc[name] }
+
+// NewPerSource returns the addresses first contributed by the source.
+func (st *Store) NewPerSource(name string) *ip6.Set { return st.newSrc[name] }
+
+// Runup returns the epoch snapshots.
+func (st *Store) Runup() []RunupPoint { return st.runup }
+
+// SourceStat is one row of Table 2.
+type SourceStat struct {
+	Name     string
+	IPs      int
+	NewIPs   int
+	ASes     int
+	Prefixes int
+	// TopAS are the top-3 AS shares of the source's addresses.
+	TopAS []ASShare
+}
+
+// ASShare is an AS with its share of a source's addresses.
+type ASShare struct {
+	ASN   bgp.ASN
+	Name  string
+	Share float64
+}
+
+// Stats computes Table 2 for the current store contents.
+func (st *Store) Stats(table *bgp.Table) []SourceStat {
+	var out []SourceStat
+	for _, s := range st.sources {
+		set := st.perSrc[s.Name()]
+		stat := SourceStat{
+			Name:   s.Name(),
+			IPs:    set.Len(),
+			NewIPs: st.newSrc[s.Name()].Len(),
+		}
+		asCount := map[bgp.ASN]int{}
+		pfxCount := map[ip6.Prefix]int{}
+		set.Each(func(a ip6.Addr) bool {
+			if p, asn, ok := table.Lookup(a); ok {
+				asCount[asn]++
+				pfxCount[p]++
+			}
+			return true
+		})
+		stat.ASes = len(asCount)
+		stat.Prefixes = len(pfxCount)
+		stat.TopAS = topShares(asCount, table, 3, set.Len())
+		out = append(out, stat)
+	}
+	return out
+}
+
+// TotalStat computes the "Total" row of Table 2.
+func (st *Store) TotalStat(table *bgp.Table) SourceStat {
+	stat := SourceStat{Name: "Total", IPs: st.all.Len(), NewIPs: st.all.Len()}
+	asCount := map[bgp.ASN]int{}
+	pfxCount := map[ip6.Prefix]int{}
+	st.all.Each(func(a ip6.Addr) bool {
+		if p, asn, ok := table.Lookup(a); ok {
+			asCount[asn]++
+			pfxCount[p]++
+		}
+		return true
+	})
+	stat.ASes = len(asCount)
+	stat.Prefixes = len(pfxCount)
+	stat.TopAS = topShares(asCount, table, 3, st.all.Len())
+	return stat
+}
+
+func topShares(counts map[bgp.ASN]int, table *bgp.Table, n, total int) []ASShare {
+	type kv struct {
+		asn bgp.ASN
+		c   int
+	}
+	var all []kv
+	for a, c := range counts {
+		all = append(all, kv{a, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].asn < all[j].asn
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	var out []ASShare
+	for _, e := range all {
+		out = append(out, ASShare{
+			ASN:   e.asn,
+			Name:  table.AS(e.asn).Name,
+			Share: float64(e.c) / float64(total),
+		})
+	}
+	return out
+}

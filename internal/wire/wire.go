@@ -1,0 +1,144 @@
+// Package wire defines the probe/response vocabulary shared between the
+// prober (the ZMapv6 analogue), the simulated Internet that answers
+// probes, and the fingerprinting analyses. It plays the role gopacket's
+// layer types play for real packet captures: a compact, protocol-neutral
+// description of what was sent and what came back.
+package wire
+
+import (
+	"fmt"
+
+	"expanse/internal/ip6"
+)
+
+// Proto identifies one of the five probe protocols the paper scans
+// (§6: "We send probes on ICMP, TCP/80, TCP/443, UDP/53, and UDP/443").
+type Proto uint8
+
+// The probed protocols, in the paper's order.
+const (
+	ICMPv6 Proto = iota
+	TCP80
+	TCP443
+	UDP53
+	UDP443
+	NumProtos = 5
+)
+
+// Protos lists all probe protocols in canonical order.
+var Protos = [NumProtos]Proto{ICMPv6, TCP80, TCP443, UDP53, UDP443}
+
+// String returns the paper's display name for the protocol.
+func (p Proto) String() string {
+	switch p {
+	case ICMPv6:
+		return "ICMP"
+	case TCP80:
+		return "TCP/80"
+	case TCP443:
+		return "TCP/443"
+	case UDP53:
+		return "UDP/53"
+	case UDP443:
+		return "UDP/443"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// IsTCP reports whether the protocol elicits TCP option fingerprints.
+func (p Proto) IsTCP() bool { return p == TCP80 || p == TCP443 }
+
+// Time is a virtual timestamp in microseconds since the start of a
+// simulation day. The prober assigns monotonically increasing send times;
+// machines derive TCP timestamp values from it.
+type Time uint64
+
+// TCPInfo carries the fingerprint-relevant fields of a TCP SYN-ACK,
+// mirroring the ZMap tcp_synopt module output the paper uses in §5.4.
+type TCPInfo struct {
+	// OptionsText is the order-preserving option layout string, e.g.
+	// "MSS-SACK-TS-N-WS" ("N" is a padding byte).
+	OptionsText string
+	// MSS is the maximum segment size option value.
+	MSS uint16
+	// WScale is the window scale option value.
+	WScale uint8
+	// WSize is the advertised receive window.
+	WSize uint16
+	// TSPresent reports whether a TCP timestamp option was returned.
+	TSPresent bool
+	// TSVal is the remote timestamp value (only if TSPresent).
+	TSVal uint32
+}
+
+// Response is the result of one probe.
+type Response struct {
+	// OK reports whether any positive response arrived (echo reply,
+	// SYN-ACK, DNS answer, QUIC version negotiation).
+	OK bool
+	// HopLimit is the received hop limit, i.e. the initial TTL chosen by
+	// the responder minus the path length. Zero when !OK.
+	HopLimit uint8
+	// TCP holds SYN-ACK option details for TCP probes that used the
+	// options module; nil otherwise.
+	TCP *TCPInfo
+}
+
+// Responder answers probes. The simulated Internet implements it; tests
+// substitute simple fakes.
+type Responder interface {
+	// Probe sends one probe to dst on protocol p during simulation day
+	// day at virtual time at, and reports the response.
+	Probe(dst ip6.Addr, p Proto, day int, at Time) Response
+}
+
+// RespMask is a bitmask over Protos recording which protocols responded.
+type RespMask uint8
+
+// Set marks protocol p as responsive.
+func (m *RespMask) Set(p Proto) { *m |= 1 << p }
+
+// Has reports whether protocol p responded.
+func (m RespMask) Has(p Proto) bool { return m&(1<<p) != 0 }
+
+// Any reports whether any protocol responded.
+func (m RespMask) Any() bool { return m != 0 }
+
+// Count returns the number of responsive protocols.
+func (m RespMask) Count() int {
+	n := 0
+	for _, p := range Protos {
+		if m.Has(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Vector expands the mask to a boolean vector in Protos order, the form
+// the conditional-probability matrix consumes.
+func (m RespMask) Vector() []bool {
+	v := make([]bool, NumProtos)
+	for i, p := range Protos {
+		v[i] = m.Has(p)
+	}
+	return v
+}
+
+// String renders the mask like "ICMP+TCP/80" ("-" when empty).
+func (m RespMask) String() string {
+	if m == 0 {
+		return "-"
+	}
+	s := ""
+	for _, p := range Protos {
+		if m.Has(p) {
+			if s != "" {
+				s += "+"
+			}
+			s += p.String()
+		}
+	}
+	return s
+}
