@@ -166,3 +166,24 @@ func BenchmarkSec93_ClientResponsiveness(b *testing.B) {
 func BenchmarkAblation_GeneratorWalk(b *testing.B) {
 	run(b, "abl-gen", benchLab().AblationGenerators)
 }
+
+// BenchmarkSweepWorkers measures the concurrent scan engine's worker
+// scaling on a five-protocol sweep of a small world's hitlist. Results
+// are bit-identical across worker counts (see DESIGN.md); only the
+// wall-clock changes.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.TestConfig()
+			cfg.Workers = workers
+			p := core.New(cfg)
+			p.Collect()
+			targets := p.Hitlist().Sorted()
+			day := p.World.Horizon()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Sweep(targets, day)
+			}
+		})
+	}
+}

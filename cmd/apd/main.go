@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	apd [-scale 0.3] [-days 4] [-window 3] [-murdock]
+//	apd [-scale 0.3] [-days 4] [-window 3] [-workers 8] [-murdock]
 package main
 
 import (
@@ -19,12 +19,14 @@ func main() {
 	scale := flag.Float64("scale", 0.3, "simulation scale")
 	days := flag.Int("days", 4, "APD probing days")
 	window := flag.Int("window", 3, "sliding window (days)")
+	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
 	murdock := flag.Bool("murdock", false, "also run the Murdock et al. /96 baseline")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Sim.Scale = *scale
 	cfg.APDWindow = *window
+	cfg.Workers = *workers
 	p := core.New(cfg)
 	fmt.Println("collecting hitlist sources…")
 	p.Collect()

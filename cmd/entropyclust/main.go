@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	entropyclust [-scale 0.3] [-group prefix32|bgp|as] [-a 9] [-b 32] [-kmax 20]
+//	entropyclust [-scale 0.3] [-group prefix32|bgp|as] [-a 9] [-b 32] [-kmax 20] [-workers 8]
 package main
 
 import (
@@ -25,10 +25,12 @@ func main() {
 	b := flag.Int("b", 32, "last nybble of the fingerprint")
 	kmax := flag.Int("kmax", 20, "maximum k for the elbow method")
 	min := flag.Int("min", 0, "minimum addresses per group (0 = scale-adjusted default)")
+	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Sim.Scale = *scale
+	cfg.Workers = *workers
 	p := core.New(cfg)
 	p.Collect()
 	addrs := p.Hitlist().Sorted()

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	genaddr [-scale 0.3] [-budget 1000] [-tool both|eip|6gen] [-print 0]
+//	genaddr [-scale 0.3] [-budget 1000] [-tool both|eip|6gen] [-workers 8] [-print 0]
 package main
 
 import (
@@ -22,14 +22,16 @@ func main() {
 	budget := flag.Int("budget", 1000, "generation budget per AS")
 	tool := flag.String("tool", "both", "generator: eip, 6gen, or both")
 	printN := flag.Int("print", 0, "print the first N generated addresses")
+	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Sim.Scale = *scale
+	cfg.Workers = *workers
 	p := core.New(cfg)
 	p.Collect()
 	day := p.World.Horizon()
-	for d := 0; d <= cfg.APDWindow; d++ {
+	for d := 0; d < cfg.APDWindow; d++ {
 		p.RunAPD(day + d)
 	}
 	clean := p.CleanTargets()

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hitlist [-scale 1.0] [-seed 93208] [-report all] [-svgdir DIR]
+//	hitlist [-scale 1.0] [-seed 93208] [-workers 8] [-report all] [-svgdir DIR]
 //
 // Report identifiers match the paper: table1 table2 fig1a fig1b fig1c
 // fig2a fig2b fig3a fig3b table3 table4 sec53 fig4 fig5 table5 table6
@@ -27,10 +27,12 @@ func main() {
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
 	report := flag.String("report", "all", "comma-separated report ids, or 'all'")
 	svgdir := flag.String("svgdir", "", "directory to write zesplot SVGs (optional)")
+	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Sim.Scale = *scale
+	cfg.Workers = *workers
 	if *seed != 0 {
 		cfg.Sim.Seed = *seed
 	}

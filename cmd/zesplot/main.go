@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	zesplot [-in FILE] [-out FILE] [-unsized] [-title T]
+//	zesplot [-in FILE] [-out FILE] [-unsized] [-title T] [-workers N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -27,7 +28,11 @@ func main() {
 	out := flag.String("out", "zesplot.svg", "output SVG file")
 	unsized := flag.Bool("unsized", false, "equal-area boxes (pattern-spotting variant)")
 	title := flag.String("title", "zesplot", "plot title")
+	workers := flag.Int("workers", 0, "cap on CPU parallelism (0 = all cores)")
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	var items []zesplot.Item
 	var err error

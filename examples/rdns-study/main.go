@@ -16,7 +16,7 @@ func main() {
 	p := core.New(core.TestConfig())
 	p.Collect()
 	day := p.World.Horizon()
-	for d := 0; d <= p.Cfg.APDWindow; d++ {
+	for d := 0; d < p.Cfg.APDWindow; d++ {
 		p.RunAPD(day + d)
 	}
 

@@ -1,0 +1,3 @@
+module expanse
+
+go 1.22

@@ -10,8 +10,11 @@
 package apd
 
 import (
+	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"expanse/internal/bgp"
 	"expanse/internal/ip6"
@@ -46,28 +49,21 @@ func HitlistCandidates(addrs []ip6.Addr, minTargets int) []Candidate {
 	if minTargets <= 0 {
 		minTargets = DefaultMinTargets
 	}
-	// Level /64: bucket everything.
-	level := make(map[ip6.Prefix][]ip6.Addr)
-	for _, a := range addrs {
-		p := ip6.PrefixFrom(a, 64)
-		level[p] = append(level[p], a)
-	}
+	// Level /64: bucket everything, sharded over the hitlist.
+	level := bucketShards(shardSlices(addrs), 64)
 	var out []Candidate
 	for p, list := range level {
 		out = append(out, Candidate{Prefix: p, Targets: len(list)})
 	}
 	// Deeper levels: only prefixes that can still exceed the threshold.
-	for bits := 68; bits <= 124; bits += 4 {
-		next := make(map[ip6.Prefix][]ip6.Addr)
+	for depth := 68; depth <= 124; depth += 4 {
+		var work [][]ip6.Addr
 		for _, list := range level {
-			if len(list) <= minTargets {
-				continue
-			}
-			for _, a := range list {
-				p := ip6.PrefixFrom(a, bits)
-				next[p] = append(next[p], a)
+			if len(list) > minTargets {
+				work = append(work, list)
 			}
 		}
+		next := bucketShards(work, depth)
 		for p, list := range next {
 			if len(list) > minTargets {
 				out = append(out, Candidate{Prefix: p, Targets: len(list)})
@@ -79,6 +75,58 @@ func HitlistCandidates(addrs []ip6.Addr, minTargets int) []Candidate {
 		return ip6.ComparePrefix(out[i].Prefix, out[j].Prefix) < 0
 	})
 	return out
+}
+
+// shardSlices cuts one address list into per-worker chunks for
+// bucketShards.
+func shardSlices(addrs []ip6.Addr) [][]ip6.Addr {
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(addrs) + workers - 1) / workers
+	if chunk == 0 {
+		return nil
+	}
+	var out [][]ip6.Addr
+	for lo := 0; lo < len(addrs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(addrs) {
+			hi = len(addrs)
+		}
+		out = append(out, addrs[lo:hi])
+	}
+	return out
+}
+
+// bucketShards buckets every address of every input shard by its
+// enclosing prefix of the given length. Each shard is bucketed into a
+// private map on its own goroutine; the shard maps are then merged in
+// shard order, so the per-prefix counts and address lists are identical
+// to a serial single-map pass.
+func bucketShards(shards [][]ip6.Addr, depth int) map[ip6.Prefix][]ip6.Addr {
+	if len(shards) == 0 {
+		return map[ip6.Prefix][]ip6.Addr{}
+	}
+	local := make([]map[ip6.Prefix][]ip6.Addr, len(shards))
+	var wg sync.WaitGroup
+	for si, shard := range shards {
+		wg.Add(1)
+		go func(si int, shard []ip6.Addr) {
+			defer wg.Done()
+			m := make(map[ip6.Prefix][]ip6.Addr)
+			for _, a := range shard {
+				p := ip6.PrefixFrom(a, depth)
+				m[p] = append(m[p], a)
+			}
+			local[si] = m
+		}(si, shard)
+	}
+	wg.Wait()
+	merged := local[0]
+	for _, m := range local[1:] {
+		for p, list := range m {
+			merged[p] = append(merged[p], list...)
+		}
+	}
+	return merged
 }
 
 // BGPCandidates returns every announced prefix as a candidate, probed
@@ -102,12 +150,33 @@ func FanOut(p ip6.Prefix) [Branches]ip6.Addr {
 	if sub > 128 {
 		sub = 128
 	}
-	seed := int64(p.Addr().Hi()^p.Addr().Lo()) ^ int64(p.Bits())<<56
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(fanSeed(p)))
 	for i := 0; i < Branches; i++ {
 		out[i] = p.Subprefix(sub, uint64(i)).RandomAddr(rng)
 	}
 	return out
+}
+
+// fanSeed derives the fan-out RNG seed from a prefix. Hi and Lo are mixed
+// into the seed separately (splitmix64 finalizer between absorptions), so
+// distinct prefixes whose Hi^Lo happen to collide at the same length
+// still fan out to different targets — a plain XOR fold would probe the
+// same pseudo-random addresses for both.
+func fanSeed(p ip6.Prefix) int64 {
+	h := fanMix(p.Addr().Hi() ^ 0x9e3779b97f4a7c15)
+	h = fanMix(h ^ p.Addr().Lo())
+	h = fanMix(h ^ uint64(p.Bits()))
+	return int64(h)
+}
+
+// fanMix is the splitmix64 finalizer.
+func fanMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // BranchMask records which of the 16 fan-out branches responded (bit i =
@@ -118,61 +187,119 @@ type BranchMask uint16
 const AllBranches BranchMask = 1<<Branches - 1
 
 // Count returns the number of responding branches.
-func (m BranchMask) Count() int {
-	n := 0
-	for i := 0; i < Branches; i++ {
-		if m&(1<<i) != 0 {
-			n++
-		}
-	}
-	return n
-}
+func (m BranchMask) Count() int { return bits.OnesCount16(uint16(m)) }
 
-// Detector runs APD probing rounds.
+// Detector runs APD probing rounds. A Detector is not safe for
+// concurrent ProbeDay calls (it accumulates ProbesSent and a fan-out
+// cache); each call parallelizes internally across protocols × worker
+// shards.
 type Detector struct {
 	scanner   *probe.Scanner
 	protocols []wire.Proto
+	workers   int
+	// fanCache memoizes per-prefix fan-out targets: candidates are
+	// re-probed daily with the same deterministic targets (§5.2), so the
+	// 16 RNG draws per prefix are paid once, not once per day.
+	fanCache map[ip6.Prefix][Branches]ip6.Addr
 	// ProbesSent accumulates the number of probe packets sent, for the
 	// bandwidth comparison of §5.5.
 	ProbesSent int
 }
 
-// NewDetector builds a detector over a responder. Protocols defaults to
-// ICMPv6+TCP/80.
+// NewDetector builds a detector over a responder with the default worker
+// count. Protocols defaults to ICMPv6+TCP/80.
 func NewDetector(r wire.Responder, protocols ...wire.Proto) *Detector {
+	return NewDetectorWorkers(r, 0, protocols...)
+}
+
+// NewDetectorWorkers builds a detector with an explicit per-protocol
+// worker-shard count (<= 0 selects the default of 8). This is how the
+// pipeline plumbs its configured concurrency through; NewDetector exists
+// for callers that don't care.
+func NewDetectorWorkers(r wire.Responder, workers int, protocols ...wire.Proto) *Detector {
 	if len(protocols) == 0 {
 		protocols = DefaultProtocols
 	}
+	if workers <= 0 {
+		workers = 8
+	}
 	return &Detector{
-		scanner:   probe.New(r, probe.WithWorkers(8), probe.WithSeed(0xa9d)),
+		scanner:   probe.New(r, probe.WithWorkers(workers), probe.WithSeed(0xa9d)),
 		protocols: protocols,
+		workers:   workers,
 	}
 }
+
+// Workers returns the configured per-protocol worker-shard count.
+func (d *Detector) Workers() int { return d.workers }
 
 // ProbeDay probes every candidate's fan-out targets on all protocols for
 // one day and returns the per-prefix branch masks with cross-protocol
 // merging already applied ("we treat an address as responsive even if it
 // replies to only the ICMPv6 or the TCP/80 probe").
+//
+// All protocols are scanned concurrently (each scan fans out over worker
+// shards), and the branch masks are merged by candidate shards into a
+// flat per-candidate slice before the single map assembly — results are
+// identical to the serial protocol-by-protocol merge.
 func (d *Detector) ProbeDay(cands []Candidate, day int) map[ip6.Prefix]BranchMask {
 	// Flatten: 16 targets per candidate, probe once per protocol.
+	if d.fanCache == nil {
+		d.fanCache = make(map[ip6.Prefix][Branches]ip6.Addr, len(cands))
+	}
 	targets := make([]ip6.Addr, 0, len(cands)*Branches)
 	for _, c := range cands {
-		fo := FanOut(c.Prefix)
+		fo, ok := d.fanCache[c.Prefix]
+		if !ok {
+			fo = FanOut(c.Prefix)
+			d.fanCache[c.Prefix] = fo
+		}
 		targets = append(targets, fo[:]...)
 	}
-	masks := make(map[ip6.Prefix]BranchMask, len(cands))
-	for _, proto := range d.protocols {
-		res := d.scanner.Scan(targets, proto, day)
-		d.ProbesSent += len(targets)
-		for ci, c := range cands {
-			m := masks[c.Prefix]
-			for b := 0; b < Branches; b++ {
-				if res[ci*Branches+b].OK {
-					m |= 1 << b
-				}
+
+	results := make([][]probe.Result, len(d.protocols))
+	var wg sync.WaitGroup
+	for pi, proto := range d.protocols {
+		wg.Add(1)
+		go func(pi int, proto wire.Proto) {
+			defer wg.Done()
+			results[pi] = d.scanner.Scan(targets, proto, day)
+		}(pi, proto)
+	}
+	wg.Wait()
+	d.ProbesSent += len(d.protocols) * len(targets)
+
+	// Sharded merge: each worker folds all protocols' responses for its
+	// candidate range into the flat mask slice; the map is built once.
+	flat := make([]BranchMask, len(cands))
+	chunk := (len(cands) + d.workers - 1) / d.workers
+	if chunk > 0 {
+		for lo := 0; lo < len(cands); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cands) {
+				hi = len(cands)
 			}
-			masks[c.Prefix] = m
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for ci := lo; ci < hi; ci++ {
+					var m BranchMask
+					for _, res := range results {
+						for b := 0; b < Branches; b++ {
+							if res[ci*Branches+b].OK {
+								m |= 1 << b
+							}
+						}
+					}
+					flat[ci] = m
+				}
+			}(lo, hi)
 		}
+		wg.Wait()
+	}
+	masks := make(map[ip6.Prefix]BranchMask, len(cands))
+	for ci, c := range cands {
+		masks[c.Prefix] |= flat[ci]
 	}
 	return masks
 }
@@ -191,12 +318,18 @@ func (h *History) Add(day map[ip6.Prefix]BranchMask) {
 func (h *History) Len() int { return len(h.days) }
 
 // MergedAt returns the branch mask of prefix p at day index di, OR-merged
-// over a sliding window of the previous `window` days (window 0 = that
-// day only): a branch counts as responsive if its address answered any
-// protocol on any day in the window (§5.2).
+// over a sliding window of `window` days TOTAL ending at di (window 1 =
+// that day only; values below 1 are clamped to 1): a branch counts as
+// responsive if its address answered any protocol on any day in the
+// window (§5.2). The paper's 3-day window therefore merges exactly days
+// di-2 .. di — an earlier version merged window+1 days, silently turning
+// the §5.2 evaluation into a 4-day merge.
 func (h *History) MergedAt(p ip6.Prefix, di, window int) BranchMask {
+	if window < 1 {
+		window = 1
+	}
 	var m BranchMask
-	lo := di - window
+	lo := di - window + 1
 	if lo < 0 {
 		lo = 0
 	}
@@ -239,15 +372,20 @@ func (h *History) Prefixes() []ip6.Prefix {
 
 // UnstablePrefixes counts prefixes whose aliased classification changes
 // across the recorded days when using the given sliding window — the
-// metric of Table 4. Evaluation starts once the window is full.
+// metric of Table 4. Evaluation starts once the window is full, i.e. at
+// day index window-1 (window < 1 is clamped to 1, a single-day window).
 func (h *History) UnstablePrefixes(window int) int {
+	if window < 1 {
+		window = 1
+	}
+	start := window - 1
 	unstable := 0
 	for _, p := range h.Prefixes() {
 		var prev, cur bool
 		flips := 0
-		for di := window; di < len(h.days); di++ {
+		for di := start; di < len(h.days); di++ {
 			cur = h.MergedAt(p, di, window) == AllBranches
-			if di > window && cur != prev {
+			if di > start && cur != prev {
 				flips++
 			}
 			prev = cur

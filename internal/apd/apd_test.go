@@ -212,24 +212,55 @@ func TestHistoryMerging(t *testing.T) {
 	h.Add(map[ip6.Prefix]BranchMask{p: 0x00ff})
 	h.Add(map[ip6.Prefix]BranchMask{p: 0xff00})
 	h.Add(map[ip6.Prefix]BranchMask{p: 0x0001})
+	if m := h.MergedAt(p, 2, 1); m != 0x0001 {
+		t.Errorf("window 1 mask = %04x", m)
+	}
+	if m := h.MergedAt(p, 2, 2); m != 0xff01 {
+		t.Errorf("window 2 mask = %04x", m)
+	}
+	if m := h.MergedAt(p, 2, 3); m != AllBranches {
+		t.Errorf("window 3 mask = %04x", m)
+	}
+	// Window < 1 clamps to the single-day window.
 	if m := h.MergedAt(p, 2, 0); m != 0x0001 {
 		t.Errorf("window 0 mask = %04x", m)
 	}
-	if m := h.MergedAt(p, 2, 1); m != 0xff01 {
-		t.Errorf("window 1 mask = %04x", m)
-	}
-	if m := h.MergedAt(p, 2, 2); m != AllBranches {
-		t.Errorf("window 2 mask = %04x", m)
-	}
-	al := h.AliasedAt(2, 2)
+	al := h.AliasedAt(2, 3)
 	if !al[p] {
-		t.Error("prefix should be aliased with window 2")
+		t.Error("prefix should be aliased with window 3")
 	}
-	if len(h.AliasedAt(2, 0)) != 0 {
-		t.Error("window 0 should not alias")
+	if len(h.AliasedAt(2, 1)) != 0 {
+		t.Error("window 1 should not alias")
 	}
 	if h.Len() != 3 {
 		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+// TestWindowLengthRegression pins the sliding-window semantics: a window
+// of w merges exactly w days, no more. The original implementation merged
+// w+1 days (di-w .. di inclusive), so the paper's 3-day window (§5.2)
+// silently evaluated a 4-day merge.
+func TestWindowLengthRegression(t *testing.T) {
+	p := ip6.MustParsePrefix("2001:db8::/64")
+	var h History
+	// Day i contributes only bit i: the merged mask's popcount IS the
+	// number of days merged.
+	const days = 10
+	for i := 0; i < days; i++ {
+		h.Add(map[ip6.Prefix]BranchMask{p: 1 << i})
+	}
+	for w := 1; w <= 5; w++ {
+		if got := h.MergedAt(p, days-1, w).Count(); got != w {
+			t.Errorf("window %d merged %d days, want exactly %d", w, got, w)
+		}
+	}
+	// Near the start of history the window truncates, never extends.
+	if got := h.MergedAt(p, 1, 3).Count(); got != 2 {
+		t.Errorf("day 1, window 3 merged %d days, want 2", got)
+	}
+	if got := h.MergedAt(p, 0, 3).Count(); got != 1 {
+		t.Errorf("day 0, window 3 merged %d days, want 1", got)
 	}
 }
 
@@ -345,6 +376,62 @@ func TestBGPCandidates(t *testing.T) {
 	cands := BGPCandidates(world.Table)
 	if len(cands) != world.Table.NumPrefixes() {
 		t.Errorf("candidates = %d, want %d", len(cands), world.Table.NumPrefixes())
+	}
+}
+
+// TestFanOutSeedCollision pins the seed-derivation fix: two distinct
+// prefixes of the same length whose Hi^Lo folds are equal must still fan
+// out to different targets (the old seed was int64(Hi^Lo)^bits<<56, so
+// such pairs probed identical pseudo-random addresses).
+func TestFanOutSeedCollision(t *testing.T) {
+	hi := ip6.MustParseAddr("2001:db8::").Hi()
+	const lo1, d = uint64(5) << 32, uint64(1) << 40
+	p1 := ip6.PrefixFrom(ip6.AddrFromUint64(hi, lo1), 96)
+	p2 := ip6.PrefixFrom(ip6.AddrFromUint64(hi^d, lo1^d), 96)
+	if p1 == p2 {
+		t.Fatal("test prefixes not distinct")
+	}
+	if p1.Addr().Hi()^p1.Addr().Lo() != p2.Addr().Hi()^p2.Addr().Lo() {
+		t.Fatal("test prefixes do not collide under Hi^Lo")
+	}
+	fo1, fo2 := FanOut(p1), FanOut(p2)
+	same := 0
+	for i := range fo1 {
+		// Compare the within-branch random suffixes (the branch nybbles
+		// and prefix bits differ by construction).
+		if fo1[i].Lo()&0xffffffff == fo2[i].Lo()&0xffffffff {
+			same++
+		}
+	}
+	if same == len(fo1) {
+		t.Error("colliding prefixes produced identical fan-out suffixes")
+	}
+}
+
+// TestDetectorWorkers pins the worker plumbing and the engine contract at
+// the detector level: ProbeDay results are identical for any worker count.
+func TestDetectorWorkers(t *testing.T) {
+	if NewDetectorWorkers(world, 3).Workers() != 3 {
+		t.Error("explicit worker count not plumbed through")
+	}
+	if NewDetector(world).Workers() != 8 {
+		t.Error("default worker count changed")
+	}
+	var cands []Candidate
+	for _, r := range world.AliasedRegions() {
+		cands = append(cands, Candidate{Prefix: r.Prefix})
+	}
+	ref := NewDetectorWorkers(world, 1).ProbeDay(cands, 2)
+	for _, workers := range []int{4, 16} {
+		got := NewDetectorWorkers(world, workers).ProbeDay(cands, 2)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d masks, want %d", workers, len(got), len(ref))
+		}
+		for p, m := range ref {
+			if got[p] != m {
+				t.Errorf("workers=%d: mask for %v = %016b, want %016b", workers, p, got[p], m)
+			}
+		}
 	}
 }
 

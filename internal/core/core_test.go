@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"expanse/internal/wire"
@@ -237,6 +238,43 @@ func TestAblationGenerators(t *testing.T) {
 	r := lab.AblationGenerators()
 	if len(r.Lines) < 2 {
 		t.Fatal("ablation report empty")
+	}
+}
+
+// TestLabConcurrentExperiments exercises the Lab's once-per-stage
+// memoization: independent experiments racing on a shared Lab must
+// produce exactly the reports a serial run produces, with every cached
+// stage built once. Run under -race in CI.
+func TestLabConcurrentExperiments(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Sim.Scale = 0.03
+	cfg.Sim.Registry.ASes = 120
+
+	experiments := func(l *Lab) []func() *Report {
+		return []func() *Report{l.Table2, l.Sec53, l.Fig7, l.Table4, l.Fig1a}
+	}
+
+	serial := NewLab(cfg)
+	want := make([]string, 0, 5)
+	for _, exp := range experiments(serial) {
+		want = append(want, exp().String())
+	}
+
+	conc := NewLab(cfg)
+	got := make([]string, len(want))
+	var wg sync.WaitGroup
+	for i, exp := range experiments(conc) {
+		wg.Add(1)
+		go func(i int, exp func() *Report) {
+			defer wg.Done()
+			got[i] = exp().String()
+		}(i, exp)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d differs between serial and concurrent lab:\nserial:\n%s\nconcurrent:\n%s", i, want[i], got[i])
+		}
 	}
 }
 

@@ -25,20 +25,21 @@ func (l *Lab) Table3() *Report {
 }
 
 // Table4 reproduces the sliding-window study: unstable prefixes under
-// window sizes 0..5 over 14 APD days.
+// window sizes of 1 to 6 merged days over 14 APD days (window = total
+// days merged; 1 = no smoothing).
 func (l *Lab) Table4() *Report {
 	l.ensureAPDDays(14)
 	r := &Report{ID: "Table 4", Title: "Impact of sliding window on unstable prefix count"}
 	line1, line2 := "window:  ", "unstable:"
 	prev := -1
-	for w := 0; w <= 5; w++ {
-		u := l.P.History().UnstablePrefixes(w)
+	for w := 1; w <= 6; w++ {
+		u := l.unstablePrefixes(w)
 		line1 += fmt.Sprintf(" %5d", w)
 		line2 += fmt.Sprintf(" %5d", u)
 		if w == l.P.Cfg.APDWindow && prev > 0 {
-			r.addf("reduction at window %d vs 0: %.0f%%", w, 100*(1-float64(u)/float64(prev)))
+			r.addf("reduction at window %d vs 1: %.0f%%", w, 100*(1-float64(u)/float64(prev)))
 		}
-		if w == 0 {
+		if w == 1 {
 			prev = u
 		}
 	}
@@ -52,7 +53,7 @@ func (l *Lab) Sec53() *Report {
 	l.ensureAPD()
 	r := &Report{ID: "Sec 5.3", Title: "Impact of de-aliasing on the hitlist"}
 	all := l.P.Hitlist().Sorted()
-	clean, aliased := l.P.Filter().Split(all)
+	clean, aliased := l.filter().Split(all)
 	r.addf("hitlist before filtering: %d", len(all))
 	r.addf("after removing aliased:  %d (%.1f%% remain)", len(clean), 100*float64(len(clean))/float64(len(all)))
 	r.addf("aliased addresses:       %d (%.1f%%)", len(aliased), 100*float64(len(aliased))/float64(len(all)))
@@ -88,7 +89,12 @@ func (l *Lab) Sec53() *Report {
 	for a, c := range asCount {
 		list = append(list, kv{a, c})
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].c > list[j].c })
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].c != list[j].c {
+			return list[i].c > list[j].c
+		}
+		return list[i].asn < list[j].asn // deterministic tie-break over map order
+	})
 	for i := 0; i < 3 && i < len(list); i++ {
 		top += fmt.Sprintf(" %s=%.1f%%", l.P.World.Table.AS(list[i].asn).Name,
 			100*float64(list[i].c)/float64(maxInt(len(aliased), 1)))
@@ -120,7 +126,7 @@ func (l *Lab) Fig4() *Report {
 	l.ensureAPD()
 	r := &Report{ID: "Fig 4", Title: "Prefix and AS distribution: aliased vs non-aliased vs all"}
 	all := l.P.Hitlist().Sorted()
-	clean, aliased := l.P.Filter().Split(all)
+	clean, aliased := l.filter().Split(all)
 	points := stats.LogPoints(1000)
 	header := fmt.Sprintf("%-24s", "population")
 	for _, x := range points {
@@ -177,7 +183,7 @@ func (l *Lab) Fig5() *Report {
 	counts, _ := l.prefixCounts(icmp)
 	r.addf("(a) prefixes with ICMP responses (no APD): %d, responses: %d", len(counts), len(icmp))
 
-	aliasedPrefixes := l.P.Filter().AliasedPrefixes()
+	aliasedPrefixes := l.filter().AliasedPrefixes()
 	// The "hook": aliased /48s by AS.
 	by48 := map[bgp.ASN]int{}
 	n48 := 0
@@ -206,7 +212,7 @@ func (l *Lab) Fig5SVGs() (noAPD, aliased string) {
 	items := l.allPrefixItems(counts)
 	noAPD = zesplot.SVG(items, zesplot.Options{Sized: false, Title: "Fig 5a: ICMP responses without APD"})
 	var alItems []zesplot.Item
-	for _, p := range l.P.Filter().AliasedPrefixes() {
+	for _, p := range l.filter().AliasedPrefixes() {
 		asn, _ := l.P.World.Table.Origin(p.Addr())
 		alItems = append(alItems, zesplot.Item{Prefix: p, ASN: asn, Value: float64(counts[p] + 1)})
 	}
@@ -220,7 +226,7 @@ func (l *Lab) aliasedFingerprintReports() []fingerprint.Report {
 	l.ensureAPD()
 	day := l.measureDay()
 	var reports []fingerprint.Report
-	for p, aliased := range l.P.Verdicts() {
+	for p, aliased := range l.verdicts() {
 		if !aliased || p.Bits() != 64 {
 			continue
 		}
@@ -329,7 +335,7 @@ func (l *Lab) Sec55() *Report {
 
 	oursOnly, theirsOnly, both := 0, 0, 0
 	for _, a := range hitlist {
-		ours := l.P.Filter().IsAliased(a)
+		ours := l.filter().IsAliased(a)
 		theirs := mf.IsAliased(a)
 		switch {
 		case ours && theirs:
@@ -346,7 +352,7 @@ func (l *Lab) Sec55() *Report {
 	r.addf("probe packets: multi-level %d vs Murdock %d (%.2fx)",
 		l.P.APDProbesSent(), md.ProbesSent, float64(md.ProbesSent)/float64(maxInt(l.P.APDProbesSent(), 1)))
 	// §5.1 case taxonomy over our verdicts.
-	cc := apd.CaseCounts(l.P.Verdicts())
+	cc := apd.CaseCounts(l.verdicts())
 	r.addf("nested-pair cases: both-aliased=%d both-clean=%d more-aliased=%d anomaly(case 4)=%d",
 		cc[apd.CaseBothAliased], cc[apd.CaseBothNonAliased], cc[apd.CaseMoreAliasedLessNot], cc[apd.CaseMoreNotLessAliased])
 	return r

@@ -21,9 +21,10 @@ func (l *Lab) crowdScale() float64 {
 }
 
 func (l *Lab) ensureCrowd() {
-	if l.crowd != nil {
-		return
-	}
+	l.crowdOnce.Do(l.buildCrowd)
+}
+
+func (l *Lab) buildCrowd() {
 	l.ensureCollected()
 	parts := crowd.Recruit(l.P.World, crowd.DefaultPlatforms(l.crowdScale()), l.measureDay(), uint64(l.P.Cfg.Sim.Seed))
 	// Ping every IPv6 participant at 15-minute cadence over 14 days (the

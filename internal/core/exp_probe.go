@@ -99,9 +99,10 @@ func (l *Lab) Fig8() *Report {
 // days, as in §6.3: stable sources (DL, FDNS, Atlas) barely decay, while
 // client/CPE sources (Bitnodes, Scamper) lose a fifth to a third.
 func (l *Lab) ensureLongitudinal() {
-	if l.longitudinal != nil {
-		return
-	}
+	l.longOnce.Do(l.buildLongitudinal)
+}
+
+func (l *Lab) buildLongitudinal() {
 	l.ensureScanClean()
 	l.longitudinal = map[string][]float64{}
 	day0 := l.measureDay()

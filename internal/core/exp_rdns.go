@@ -27,9 +27,10 @@ type rdnsState struct {
 // ensureRDNS walks the reverse tree, applies the §8 filtering (unrouted
 // and aliased addresses removed), and probes the rest.
 func (l *Lab) ensureRDNS() {
-	if l.rdnsStudy != nil {
-		return
-	}
+	l.rdnsOnce.Do(l.buildRDNS)
+}
+
+func (l *Lab) buildRDNS() {
 	l.ensureAPD()
 	st := &rdnsState{}
 	l.rdnsStudy = st
@@ -47,7 +48,7 @@ func (l *Lab) ensureRDNS() {
 			st.unrouted++
 			continue
 		}
-		if l.P.Filter().IsAliased(a) {
+		if l.filter().IsAliased(a) {
 			st.inAliased++
 			continue
 		}

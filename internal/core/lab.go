@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"expanse/internal/apd"
 	"expanse/internal/ip6"
 	"expanse/internal/wire"
 )
@@ -35,19 +37,45 @@ func (r *Report) addf(format string, args ...any) {
 // Lab caches the expensive pipeline stages shared between experiments so
 // the whole suite runs each stage exactly once (collection, APD, the
 // daily sweeps, the generation study, …).
+//
+// A Lab is safe for concurrent use: every stage is memoized behind a
+// sync.Once (or, for the incrementally extended APD history, a mutex), so
+// independent experiments — e.g. parallel benchmarks — can share one Lab
+// and each stage still runs exactly once. Experiments that need the
+// curated post-APD view consume the window snapshot (see ensureAPDDays),
+// which makes their results independent of how many extra APD days other
+// experiments have appended concurrently.
 type Lab struct {
 	P *Pipeline
 
-	collected bool
-	apdDays   int // number of APD days run so far
+	collectOnce sync.Once
 
-	scanFull  *Scan // day-0 sweep over the FULL hitlist (pre-APD view)
-	scanClean *Scan // day-0 sweep over non-aliased targets (the curated view)
+	// apdMu guards the day counter, the pipeline's mutable APD state and
+	// the window snapshot below.
+	apdMu   sync.Mutex
+	apdDays int // number of APD days run so far
 
+	// Window snapshot: the curated view captured the moment the APD
+	// history first fills Cfg.APDWindow days (the state the paper's daily
+	// hitlist would publish). Later APD days keep extending the history
+	// for the stability study without disturbing these.
+	winClean    []ip6.Addr
+	winFilter   *apd.Filter
+	winVerdicts map[ip6.Prefix]bool
+
+	scanFullOnce  sync.Once
+	scanFull      *Scan // day-0 sweep over the FULL hitlist (pre-APD view)
+	scanCleanOnce sync.Once
+	scanClean     *Scan // day-0 sweep over non-aliased targets (the curated view)
+
+	longOnce     sync.Once
 	longitudinal map[string][]float64 // Fig 8 series, keyed by row label
 
+	genOnce   sync.Once
 	genStudy  *genStudyState
+	rdnsOnce  sync.Once
 	rdnsStudy *rdnsState
+	crowdOnce sync.Once
 	crowd     *crowdState
 }
 
@@ -61,43 +89,79 @@ func NewLab(cfg Config) *Lab {
 func (l *Lab) measureDay() int { return l.P.World.Horizon() }
 
 func (l *Lab) ensureCollected() {
-	if l.collected {
-		return
-	}
-	l.P.Collect()
-	l.collected = true
+	l.collectOnce.Do(func() { l.P.Collect() })
 }
 
 // ensureAPD runs APD for enough days to fill the sliding window and set
-// the filter.
+// the filter (window semantics: APDWindow = total days merged).
 func (l *Lab) ensureAPD() {
-	l.ensureCollected()
-	l.ensureAPDDays(l.P.Cfg.APDWindow + 1)
+	l.ensureAPDDays(l.P.Cfg.APDWindow)
 }
 
-// ensureAPDDays extends the APD history to at least n days.
+// ensureAPDDays extends the APD history to at least n days. Extension is
+// serialized, so the day sequence — and the snapshot taken the moment the
+// sliding window fills — is identical no matter which experiments race to
+// extend the history.
 func (l *Lab) ensureAPDDays(n int) {
 	l.ensureCollected()
+	l.apdMu.Lock()
+	defer l.apdMu.Unlock()
 	for ; l.apdDays < n; l.apdDays++ {
 		l.P.RunAPD(l.measureDay() + l.apdDays)
+		if l.apdDays+1 == l.P.Cfg.APDWindow {
+			l.winClean = l.P.CleanTargets()
+			l.winFilter = l.P.Filter()
+			l.winVerdicts = l.P.Verdicts()
+		}
 	}
+}
+
+// cleanTargets returns the curated hitlist of the window snapshot.
+func (l *Lab) cleanTargets() []ip6.Addr {
+	l.ensureAPD()
+	l.apdMu.Lock()
+	defer l.apdMu.Unlock()
+	return l.winClean
+}
+
+// filter returns the alias filter of the window snapshot.
+func (l *Lab) filter() *apd.Filter {
+	l.ensureAPD()
+	l.apdMu.Lock()
+	defer l.apdMu.Unlock()
+	return l.winFilter
+}
+
+// verdicts returns the per-prefix verdicts of the window snapshot.
+func (l *Lab) verdicts() map[ip6.Prefix]bool {
+	l.ensureAPD()
+	l.apdMu.Lock()
+	defer l.apdMu.Unlock()
+	return l.winVerdicts
+}
+
+// unstablePrefixes evaluates the Table 4 metric under the APD mutex, so
+// it never reads the history while another experiment is extending it.
+func (l *Lab) unstablePrefixes(window int) int {
+	l.apdMu.Lock()
+	defer l.apdMu.Unlock()
+	return l.P.History().UnstablePrefixes(window)
 }
 
 // ensureScanFull sweeps the complete hitlist once (the pre-APD view that
 // Figure 5a needs).
 func (l *Lab) ensureScanFull() {
-	l.ensureCollected()
-	if l.scanFull == nil {
+	l.scanFullOnce.Do(func() {
+		l.ensureCollected()
 		l.scanFull = l.P.Sweep(l.P.Hitlist().Sorted(), l.measureDay())
-	}
+	})
 }
 
 // ensureScanClean sweeps the curated (non-aliased) targets.
 func (l *Lab) ensureScanClean() {
-	l.ensureAPD()
-	if l.scanClean == nil {
-		l.scanClean = l.P.Sweep(l.P.CleanTargets(), l.measureDay())
-	}
+	l.scanCleanOnce.Do(func() {
+		l.scanClean = l.P.Sweep(l.cleanTargets(), l.measureDay())
+	})
 }
 
 // maskOf returns the day-0 clean-scan mask for an address.

@@ -28,11 +28,17 @@ import (
 type Config struct {
 	// Sim configures the simulated Internet (the measurement target).
 	Sim netsim.Config
-	// APDWindow is the sliding-window length in days (§5.2; default 3).
+	// APDWindow is the sliding-window length in days — the TOTAL number
+	// of days merged per §5.2 evaluation, so the paper's 3-day window
+	// merges exactly 3 days (default 3).
 	APDWindow int
 	// MinTargets is the APD candidate threshold (§5.1; default 100).
 	MinTargets int
-	// Workers is the prober concurrency (default 8).
+	// Workers is the per-protocol worker-shard count of the scan engine,
+	// used by both the responsiveness scanner and the APD detector
+	// (default 8). Scan results are identical for every value — see the
+	// concurrency model in DESIGN.md — so this is purely a throughput
+	// knob.
 	Workers int
 }
 
@@ -95,7 +101,7 @@ func New(cfg Config) *Pipeline {
 		DNS:      dns,
 		Store:    st,
 		scanner:  probe.New(world, probe.WithWorkers(cfg.Workers), probe.WithSeed(uint64(cfg.Sim.Seed))),
-		detector: apd.NewDetector(world),
+		detector: apd.NewDetectorWorkers(world, cfg.Workers),
 	}
 }
 

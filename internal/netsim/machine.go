@@ -53,6 +53,24 @@ var optLayoutWeights = []float64{0.995, 0.002, 0.0015, 0.001, 0.0005}
 var ittlValues = []uint8{64, 255, 128, 32}
 var ittlWeights = []float64{0.72, 0.17, 0.10, 0.01}
 
+// machineFor returns the memoized machine profile for a key. Keys come
+// from a population bounded by the world's machines (hosts, CPE lines,
+// alias regions, plus quirk-derived variants), but profiles are needed on
+// every probe answer: deriving one seeds a full math/rand generator (a
+// 607-word fill), which dominated probe cost before memoization. The
+// cache lives on the Internet — keys are salted with the world key, so
+// sharing across worlds would only accumulate dead entries — and
+// sync.Map gives the lock-free read path the concurrent scanner workers
+// need.
+func (in *Internet) machineFor(key uint64) machine {
+	if m, ok := in.machines.Load(key); ok {
+		return m.(machine)
+	}
+	m := newMachine(key)
+	in.machines.Store(key, m)
+	return m
+}
+
 // newMachine derives a deterministic machine profile from a key.
 func newMachine(key uint64) machine {
 	rng := rand.New(rand.NewSource(int64(key)))

@@ -10,10 +10,17 @@
 // (address, protocol, day, time) always yields the same answer given the
 // same prior state, which makes every experiment in the paper exactly
 // reproducible.
+//
+// Concurrency: the world is immutable once built, and Probe is safe for
+// unlimited concurrent use (see the contract on Internet.Probe). Answers
+// depend only on probe arguments, so results are identical regardless of
+// how many scanner workers interleave their probes. DESIGN.md documents
+// the scan-engine concurrency model built on top of this contract.
 package netsim
 
 import (
 	"math/rand"
+	"sync"
 
 	"expanse/internal/bgp"
 	"expanse/internal/ip6"
@@ -190,6 +197,9 @@ type Internet struct {
 	aliasRecords []AliasRecord
 	rdns         []ip6.Addr
 	key          uint64
+	// machines memoizes fingerprint profiles per machine key; the only
+	// state Probe mutates (append-only, race-free — see machineFor).
+	machines sync.Map // uint64 → machine
 }
 
 // New builds the world. Generation cost is O(total hosts); the default
@@ -286,6 +296,16 @@ func (in *Internet) GroundTruthAliased(addr ip6.Addr) bool {
 }
 
 // Probe implements wire.Responder: it answers a single probe packet.
+//
+// Concurrency contract: Probe is safe for unlimited concurrent use once
+// New has returned. The world is immutable after construction — every
+// lookup structure (host map, alias trie, network trie) is read-only, all
+// per-probe variation derives from pure keyed hashes, and the only shared
+// mutable state is the machine-profile memo cache, which is append-only
+// and race-free (see machineFor). A probe's answer depends solely on its
+// arguments, never on probe ordering, so any interleaving of concurrent
+// callers observes identical responses. The concurrent scan engine in
+// internal/probe relies on this contract.
 func (in *Internet) Probe(dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
 	// 1. Aliased regions (including their special-behaviour quirks).
 	if _, r, ok := in.aliasT.Lookup(dst); ok {
@@ -469,7 +489,7 @@ func (in *Internet) probeLine(nw *network, dst ip6.Addr, p wire.Proto, day int, 
 
 // answer builds a positive response with fingerprint data.
 func (in *Internet) answer(machineKey, effKey, dstKey uint64, p wire.Proto, day int, at wire.Time, path uint8, ttlFlip bool) wire.Response {
-	m := newMachine(effKey)
+	m := in.machineFor(effKey)
 	ittl := m.iTTL
 	if ttlFlip && dstKey&1 == 1 {
 		if ittl == 64 {

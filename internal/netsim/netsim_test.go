@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"expanse/internal/bgp"
@@ -561,5 +562,63 @@ func BenchmarkProbeMiss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		world.Probe(addrs[i%len(addrs)], wire.ICMPv6, 0, wire.Time(i))
+	}
+}
+
+// TestProbeConcurrencyContract exercises the contract documented on
+// Internet.Probe: concurrent probes from many goroutines — including
+// duplicate probes racing on the machine-profile cache — must return
+// exactly what a serial run returns.
+func TestProbeConcurrencyContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type task struct {
+		addr ip6.Addr
+		p    wire.Proto
+		day  int
+		at   wire.Time
+	}
+	var tasks []task
+	for _, h := range world.Hosts() {
+		if len(tasks) >= 2000 {
+			break
+		}
+		tasks = append(tasks, task{h.Addr, wire.Protos[len(tasks)%int(wire.NumProtos)], len(tasks) % 9, wire.Time(rng.Intn(1 << 20))})
+	}
+	for _, r := range world.AliasedRegions() {
+		tasks = append(tasks, task{r.Prefix.RandomAddr(rng), wire.TCP80, 3, 17})
+	}
+	// Duplicate everything so distinct goroutines race on identical keys.
+	tasks = append(tasks, tasks...)
+
+	serial := make([]wire.Response, len(tasks))
+	for i, tk := range tasks {
+		serial[i] = world.Probe(tk.addr, tk.p, tk.day, tk.at)
+	}
+	for _, workers := range []int{4, 16} {
+		conc := make([]wire.Response, len(tasks))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(tasks); i += workers {
+					tk := tasks[i]
+					conc[i] = world.Probe(tk.addr, tk.p, tk.day, tk.at)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for i := range serial {
+			if serial[i].OK != conc[i].OK || serial[i].HopLimit != conc[i].HopLimit {
+				t.Fatalf("workers=%d: probe %d differs from serial run", workers, i)
+			}
+			st, ct := serial[i].TCP, conc[i].TCP
+			if (st == nil) != (ct == nil) {
+				t.Fatalf("workers=%d: probe %d TCP presence differs", workers, i)
+			}
+			if st != nil && *st != *ct {
+				t.Fatalf("workers=%d: probe %d fingerprint differs: %+v vs %+v", workers, i, *st, *ct)
+			}
+		}
 	}
 }

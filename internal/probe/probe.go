@@ -5,6 +5,13 @@
 // onto virtual send times, a concurrent worker pool, and a TCP options
 // module that records fingerprint data (§5.4).
 //
+// Concurrency model (see DESIGN.md): a sweep fans out protocols × worker
+// shards. Virtual send times are a pure function of a probe's position in
+// the per-protocol permutation, never of goroutine scheduling, so scan
+// results are bit-identical for every worker count — determinism is a
+// property of the virtual clock, parallelism only decides who walks which
+// slice of the sequence.
+//
 // The engine is generic over wire.Responder: production code plugs in the
 // simulated Internet, tests plug in fakes.
 package probe
@@ -91,49 +98,61 @@ func (s *Scanner) interval() wire.Time {
 	return iv
 }
 
+// shard splits the sequence positions [0,n) into s.workers contiguous
+// chunks and runs fn(lo,hi) for each on its own goroutine, returning once
+// all chunks finish. Virtual send times are a pure function of sequence
+// position, so sharding never changes what goes on the (simulated) wire —
+// only how many goroutines walk the sequence.
+func (s *Scanner) shard(n int, fn func(lo, hi int)) {
+	chunk := (n + s.workers - 1) / s.workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Scan probes every target once (plus retries) on the given protocol
 // during the given day. Results are returned in target order; the probe
 // ORDER over the wire follows a pseudo-random permutation, like ZMap's
 // address randomization, so bursts never hammer one prefix.
+//
+// Scan is safe for concurrent use: the Scanner carries no per-scan state,
+// so callers (e.g. Sweep and the APD detector) may run several Scans in
+// parallel against the same Scanner as long as the Responder honors the
+// concurrency contract documented in netsim.
 func (s *Scanner) Scan(targets []ip6.Addr, proto wire.Proto, day int) []Result {
 	results := make([]Result, len(targets))
 	perm := NewPermutation(len(targets), s.seed^uint64(proto)<<32^uint64(day))
 	iv := s.interval()
 
-	var wg sync.WaitGroup
-	chunk := (len(targets) + s.workers - 1) / s.workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	for w := 0; w < s.workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(targets) {
-			hi = len(targets)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			// Each worker walks its slice of the *permuted* sequence;
-			// the sequence position fixes the virtual send time, so
-			// results are identical regardless of worker count.
-			for seq := lo; seq < hi; seq++ {
-				idx := perm.At(seq)
-				addr := targets[idx]
-				at := wire.Time(seq) * iv
-				r := s.probeOnce(addr, proto, day, at)
-				for a := 0; !r.OK && a < s.retries; a++ {
-					at += wire.Time(len(targets)) * iv // retry pass later
-					r = s.probeOnce(addr, proto, day, at)
-				}
-				results[idx] = r
+	s.shard(len(targets), func(lo, hi int) {
+		// Each worker walks its slice of the *permuted* sequence;
+		// the sequence position fixes the virtual send time, so
+		// results are identical regardless of worker count.
+		for seq := lo; seq < hi; seq++ {
+			idx := perm.At(seq)
+			addr := targets[idx]
+			at := wire.Time(seq) * iv
+			r := s.probeOnce(addr, proto, day, at)
+			for a := 0; !r.OK && a < s.retries; a++ {
+				at += wire.Time(len(targets)) * iv // retry pass later
+				r = s.probeOnce(addr, proto, day, at)
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			results[idx] = r
+		}
+	})
 	return results
 }
 
@@ -148,11 +167,27 @@ func (s *Scanner) probeOnce(addr ip6.Addr, proto wire.Proto, day int, at wire.Ti
 
 // Sweep probes every target on all five protocols and aggregates a
 // responsiveness mask per target (the paper's daily responsiveness scan).
+//
+// The five protocol scans run concurrently, each fanned out over the
+// scanner's worker shards (protocols × shards goroutines in flight).
+// Every protocol keeps its own permutation and virtual send-time line, so
+// the result is bit-identical to running the protocols one after another
+// at any worker count; only the mask merge happens after the barrier.
 func (s *Scanner) Sweep(targets []ip6.Addr, day int) []wire.RespMask {
+	var perProto [wire.NumProtos][]Result
+	var wg sync.WaitGroup
+	for pi, p := range wire.Protos {
+		wg.Add(1)
+		go func(pi int, p wire.Proto) {
+			defer wg.Done()
+			perProto[pi] = s.Scan(targets, p, day)
+		}(pi, p)
+	}
+	wg.Wait()
+
 	masks := make([]wire.RespMask, len(targets))
-	for _, p := range wire.Protos {
-		res := s.Scan(targets, p, day)
-		for i, r := range res {
+	for pi, p := range wire.Protos {
+		for i, r := range perProto[pi] {
 			if r.OK {
 				masks[i].Set(p)
 			}
@@ -172,33 +207,16 @@ func (s *Scanner) ProbePairs(targets []ip6.Addr, proto wire.Proto, day int) []Pa
 	out := make([]Pair, len(targets))
 	iv := s.interval()
 	perm := NewPermutation(len(targets), s.seed^0xfb^uint64(day))
-	var wg sync.WaitGroup
-	chunk := (len(targets) + s.workers - 1) / s.workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	for w := 0; w < s.workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(targets) {
-			hi = len(targets)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for seq := lo; seq < hi; seq++ {
-				idx := perm.At(seq)
-				at := wire.Time(seq) * iv * 2
-				out[idx] = Pair{
-					First:  s.probeOnce(targets[idx], proto, day, at),
-					Second: s.probeOnce(targets[idx], proto, day, at+iv),
-				}
+	s.shard(len(targets), func(lo, hi int) {
+		for seq := lo; seq < hi; seq++ {
+			idx := perm.At(seq)
+			at := wire.Time(seq) * iv * 2
+			out[idx] = Pair{
+				First:  s.probeOnce(targets[idx], proto, day, at),
+				Second: s.probeOnce(targets[idx], proto, day, at+iv),
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return out
 }
 

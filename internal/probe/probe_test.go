@@ -67,26 +67,54 @@ func TestScanBasic(t *testing.T) {
 	}
 }
 
+// TestScanDeterministicAcrossWorkers pins the engine's core contract:
+// Scan, Sweep and ProbePairs return identical results for any worker
+// count, because virtual send times follow permutation position, not
+// goroutine scheduling.
 func TestScanDeterministicAcrossWorkers(t *testing.T) {
 	targets := addrs(500)
 	f := &fakeResponder{up: map[ip6.Addr]wire.RespMask{}}
 	for i, a := range targets {
+		var m wire.RespMask
 		if i%3 == 0 {
-			var m wire.RespMask
 			m.Set(wire.TCP80)
+		}
+		if i%4 == 0 {
+			m.Set(wire.ICMPv6)
+			m.Set(wire.UDP53)
+		}
+		if m.Any() {
 			f.up[a] = m
 		}
 	}
-	s1 := New(f, WithWorkers(1))
-	s16 := New(f, WithWorkers(16))
-	r1 := s1.Scan(targets, wire.TCP80, 2)
-	r16 := s16.Scan(targets, wire.TCP80, 2)
-	for i := range r1 {
-		if r1[i].OK != r16[i].OK || r1[i].SentAt != r16[i].SentAt {
-			t.Fatalf("result %d differs between worker counts", i)
+	ref := New(f, WithWorkers(1))
+	refScan := ref.Scan(targets, wire.TCP80, 2)
+	refSweep := ref.Sweep(targets, 2)
+	refPairs := ref.ProbePairs(targets, wire.TCP80, 2)
+	for _, workers := range []int{1, 4, 16} {
+		s := New(f, WithWorkers(workers))
+		res := s.Scan(targets, wire.TCP80, 2)
+		for i := range refScan {
+			if refScan[i].OK != res[i].OK || refScan[i].SentAt != res[i].SentAt {
+				t.Fatalf("workers=%d: result %d differs from serial scan", workers, i)
+			}
+			if refScan[i].TCP != nil && res[i].TCP != nil && refScan[i].TCP.TSVal != res[i].TCP.TSVal {
+				t.Fatalf("workers=%d: fingerprint %d differs", workers, i)
+			}
 		}
-		if r1[i].TCP != nil && r16[i].TCP != nil && r1[i].TCP.TSVal != r16[i].TCP.TSVal {
-			t.Fatalf("fingerprint %d differs between worker counts", i)
+		sweep := s.Sweep(targets, 2)
+		for i := range refSweep {
+			if sweep[i] != refSweep[i] {
+				t.Fatalf("workers=%d: sweep mask %d = %v, want %v", workers, i, sweep[i], refSweep[i])
+			}
+		}
+		pairs := s.ProbePairs(targets, wire.TCP80, 2)
+		for i := range refPairs {
+			if pairs[i].First.SentAt != refPairs[i].First.SentAt ||
+				pairs[i].Second.SentAt != refPairs[i].Second.SentAt ||
+				pairs[i].First.OK != refPairs[i].First.OK {
+				t.Fatalf("workers=%d: pair %d differs", workers, i)
+			}
 		}
 	}
 }
