@@ -44,23 +44,53 @@ type Candidate struct {
 // /124 in 4-bit steps and returns those with more than minTargets
 // addresses — except /64s, which are all kept ("so as to allow full
 // analysis of all known /64 prefixes"). Candidates are refined level by
-// level, so only populated branches are expanded.
-func HitlistCandidates(addrs []ip6.Addr, minTargets int) []Candidate {
+// level, so only populated branches are expanded. The /64 level buckets
+// the ShardSet's columnar shards directly — one goroutine per shard view,
+// no flatten-copy or re-sharding of the hitlist.
+func HitlistCandidates(set *ip6.ShardSet, minTargets int) []Candidate {
+	views := set.ShardSeqs()
+	shards := make([]ip6.AddrSeq, len(views))
+	for i, v := range views {
+		shards[i] = v
+	}
+	return candidatesFromShards(shards, minTargets)
+}
+
+// HitlistCandidatesAddrs is HitlistCandidates over a plain address slice
+// (Murdock comparisons, ad-hoc target lists); the slice is cut into
+// per-CPU chunks for the /64 level.
+func HitlistCandidatesAddrs(addrs []ip6.Addr, minTargets int) []Candidate {
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(addrs) + workers - 1) / workers
+	var shards []ip6.AddrSeq
+	if chunk > 0 {
+		for lo := 0; lo < len(addrs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(addrs) {
+				hi = len(addrs)
+			}
+			shards = append(shards, ip6.Addrs(addrs[lo:hi]))
+		}
+	}
+	return candidatesFromShards(shards, minTargets)
+}
+
+func candidatesFromShards(shards []ip6.AddrSeq, minTargets int) []Candidate {
 	if minTargets <= 0 {
 		minTargets = DefaultMinTargets
 	}
 	// Level /64: bucket everything, sharded over the hitlist.
-	level := bucketShards(shardSlices(addrs), 64)
+	level := bucketShards(shards, 64)
 	var out []Candidate
 	for p, list := range level {
 		out = append(out, Candidate{Prefix: p, Targets: len(list)})
 	}
 	// Deeper levels: only prefixes that can still exceed the threshold.
 	for depth := 68; depth <= 124; depth += 4 {
-		var work [][]ip6.Addr
+		var work []ip6.AddrSeq
 		for _, list := range level {
 			if len(list) > minTargets {
-				work = append(work, list)
+				work = append(work, ip6.Addrs(list))
 			}
 		}
 		next := bucketShards(work, depth)
@@ -77,31 +107,12 @@ func HitlistCandidates(addrs []ip6.Addr, minTargets int) []Candidate {
 	return out
 }
 
-// shardSlices cuts one address list into per-worker chunks for
-// bucketShards.
-func shardSlices(addrs []ip6.Addr) [][]ip6.Addr {
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (len(addrs) + workers - 1) / workers
-	if chunk == 0 {
-		return nil
-	}
-	var out [][]ip6.Addr
-	for lo := 0; lo < len(addrs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(addrs) {
-			hi = len(addrs)
-		}
-		out = append(out, addrs[lo:hi])
-	}
-	return out
-}
-
 // bucketShards buckets every address of every input shard by its
 // enclosing prefix of the given length. Each shard is bucketed into a
 // private map on its own goroutine; the shard maps are then merged in
 // shard order, so the per-prefix counts and address lists are identical
 // to a serial single-map pass.
-func bucketShards(shards [][]ip6.Addr, depth int) map[ip6.Prefix][]ip6.Addr {
+func bucketShards(shards []ip6.AddrSeq, depth int) map[ip6.Prefix][]ip6.Addr {
 	if len(shards) == 0 {
 		return map[ip6.Prefix][]ip6.Addr{}
 	}
@@ -109,10 +120,11 @@ func bucketShards(shards [][]ip6.Addr, depth int) map[ip6.Prefix][]ip6.Addr {
 	var wg sync.WaitGroup
 	for si, shard := range shards {
 		wg.Add(1)
-		go func(si int, shard []ip6.Addr) {
+		go func(si int, shard ip6.AddrSeq) {
 			defer wg.Done()
 			m := make(map[ip6.Prefix][]ip6.Addr)
-			for _, a := range shard {
+			for i := 0; i < shard.Len(); i++ {
+				a := shard.At(i)
 				p := ip6.PrefixFrom(a, depth)
 				m[p] = append(m[p], a)
 			}

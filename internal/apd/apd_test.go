@@ -83,7 +83,9 @@ func TestHitlistCandidates(t *testing.T) {
 	for i := uint64(0); i < 5; i++ {
 		addrs = append(addrs, sparse.NthAddr(i<<32))
 	}
-	cands := HitlistCandidates(addrs, 100)
+	set := ip6.NewShardSet(len(addrs))
+	set.AddSlice(addrs)
+	cands := HitlistCandidates(set, 100)
 	byPrefix := map[ip6.Prefix]int{}
 	for _, c := range cands {
 		byPrefix[c.Prefix] = c.Targets
@@ -359,7 +361,7 @@ func TestMurdockBaseline(t *testing.T) {
 	}
 	// Multi-level APD catches the /112 via hitlist candidates.
 	det := NewDetector(world)
-	hlCands := HitlistCandidates(addrs, 100)
+	hlCands := HitlistCandidatesAddrs(addrs, 100)
 	masks := det.ProbeDay(hlCands, 1)
 	found := false
 	for p, m := range masks {
@@ -369,6 +371,36 @@ func TestMurdockBaseline(t *testing.T) {
 	}
 	if !found {
 		t.Error("multi-level APD missed the aliased /112 region")
+	}
+}
+
+// TestHitlistCandidatesSetMatchesSlice pins that bucketing directly over
+// ShardSet shards yields exactly the candidates of the slice-chunked
+// path, for a hitlist with dense and sparse regions.
+func TestHitlistCandidatesSetMatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var addrs []ip6.Addr
+	for _, r := range world.AliasedRegions() {
+		for i := 0; i < 40; i++ {
+			addrs = append(addrs, r.Prefix.RandomAddr(rng))
+		}
+	}
+	dense := ip6.MustParsePrefix("2001:db8:77::/64")
+	for i := uint64(0); i < 300; i++ {
+		addrs = append(addrs, dense.NthAddr(i))
+	}
+	set := ip6.NewShardSet(len(addrs))
+	set.AddSlice(addrs)
+	// The slice path must dedup like the set does to compare counts.
+	fromSlice := HitlistCandidatesAddrs(set.Sorted(), 100)
+	fromSet := HitlistCandidates(set, 100)
+	if len(fromSet) != len(fromSlice) {
+		t.Fatalf("set path %d candidates, slice path %d", len(fromSet), len(fromSlice))
+	}
+	for i := range fromSet {
+		if fromSet[i] != fromSlice[i] {
+			t.Errorf("candidate %d differs: %+v vs %+v", i, fromSet[i], fromSlice[i])
+		}
 	}
 }
 

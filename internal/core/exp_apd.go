@@ -145,7 +145,7 @@ func (l *Lab) Fig4() *Report {
 		{"Non-aliased [AS]", clean, true},
 		{"Non-aliased [Prefix]", clean, false},
 	} {
-		conc := l.concentrationOf(row.addrs, row.byAS)
+		conc := l.concentrationOf(ip6.Addrs(row.addrs), row.byAS)
 		line := fmt.Sprintf("%-24s", row.name)
 		for _, f := range conc.Curve(points) {
 			line += fmt.Sprintf(" %6.3f", f)
@@ -153,16 +153,19 @@ func (l *Lab) Fig4() *Report {
 		r.Lines = append(r.Lines, line)
 	}
 	// The headline shape: aliased concentrated in very few ASes.
-	ac := l.concentrationOf(aliased, true)
-	nc := l.concentrationOf(clean, true)
+	ac := l.concentrationOf(ip6.Addrs(aliased), true)
+	nc := l.concentrationOf(ip6.Addrs(clean), true)
 	r.addf("top-1 AS share: aliased %.2f vs non-aliased %.2f", ac.TopFraction(1), nc.TopFraction(1))
 	return r
 }
 
-func (l *Lab) concentrationOf(addrs []ip6.Addr, byAS bool) *stats.Concentration {
+// concentrationOf builds the AS (or prefix) concentration of a
+// population, given as a slice (ip6.Addrs) or a set's cached sorted view
+// (ShardSet.SortedSeq).
+func (l *Lab) concentrationOf(addrs ip6.AddrSeq, byAS bool) *stats.Concentration {
 	asC, pfxC := map[bgp.ASN]int{}, map[ip6.Prefix]int{}
-	for _, a := range addrs {
-		if p, asn, ok := l.P.World.Table.Lookup(a); ok {
+	for i := 0; i < addrs.Len(); i++ {
+		if p, asn, ok := l.P.World.Table.Lookup(addrs.At(i)); ok {
 			asC[asn]++
 			pfxC[p]++
 		}
@@ -180,7 +183,7 @@ func (l *Lab) Fig5() *Report {
 	l.ensureAPD()
 	r := &Report{ID: "Fig 5", Title: "Responses to ICMP echo: full input vs detected aliased prefixes"}
 	icmp := l.scanFull.Responsive(wire.ICMPv6)
-	counts, _ := l.prefixCounts(icmp)
+	counts, _ := l.prefixCounts(ip6.Addrs(icmp))
 	r.addf("(a) prefixes with ICMP responses (no APD): %d, responses: %d", len(counts), len(icmp))
 
 	aliasedPrefixes := l.filter().AliasedPrefixes()
@@ -208,7 +211,7 @@ func (l *Lab) Fig5SVGs() (noAPD, aliased string) {
 	l.ensureScanFull()
 	l.ensureAPD()
 	icmp := l.scanFull.Responsive(wire.ICMPv6)
-	counts, _ := l.prefixCounts(icmp)
+	counts, _ := l.prefixCounts(ip6.Addrs(icmp))
 	items := l.allPrefixItems(counts)
 	noAPD = zesplot.SVG(items, zesplot.Options{Sized: false, Title: "Fig 5a: ICMP responses without APD"})
 	var alItems []zesplot.Item

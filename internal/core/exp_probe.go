@@ -15,7 +15,7 @@ func (l *Lab) Fig6() *Report {
 	l.ensureScanClean()
 	r := &Report{ID: "Fig 6", Title: "ICMP-responsive addresses per BGP prefix (curated hitlist)"}
 	icmp := l.scanClean.Responsive(wire.ICMPv6)
-	counts, covered := l.prefixCounts(icmp)
+	counts, covered := l.prefixCounts(ip6.Addrs(icmp))
 	anns := l.P.World.Table.NumPrefixes()
 	asSet := map[uint32]bool{}
 	for _, a := range icmp {
@@ -40,7 +40,7 @@ func (l *Lab) Fig6() *Report {
 // Fig6SVG returns the Figure 6 zesplot SVG.
 func (l *Lab) Fig6SVG() string {
 	l.ensureScanClean()
-	counts, _ := l.prefixCounts(l.scanClean.Responsive(wire.ICMPv6))
+	counts, _ := l.prefixCounts(ip6.Addrs(l.scanClean.Responsive(wire.ICMPv6)))
 	items := l.allPrefixItems(counts)
 	return zesplot.SVG(items, zesplot.Options{Sized: false, Title: "Fig 6: ICMP responses per BGP prefix"})
 }

@@ -158,16 +158,17 @@ func (l *Lab) Fig10() *Report {
 		header += fmt.Sprintf(" %6d", x)
 	}
 	r.Lines = append(r.Lines, header)
-	hit := l.P.Hitlist().Sorted()
+	hitlist := l.P.Hitlist().SortedSeq()
+	walked := ip6.Addrs(l.rdnsStudy.walked)
 	for _, row := range []struct {
 		name  string
-		addrs []ip6.Addr
+		addrs ip6.AddrSeq
 		byAS  bool
 	}{
-		{"Hitlist [Prefix]", hit, false},
-		{"Hitlist [AS]", hit, true},
-		{"rDNS [Prefix]", l.rdnsStudy.walked, false},
-		{"rDNS [AS]", l.rdnsStudy.walked, true},
+		{"Hitlist [Prefix]", hitlist, false},
+		{"Hitlist [AS]", hitlist, true},
+		{"rDNS [Prefix]", walked, false},
+		{"rDNS [AS]", walked, true},
 	} {
 		conc := l.concentrationOf(row.addrs, row.byAS)
 		line := fmt.Sprintf("%-18s", row.name)

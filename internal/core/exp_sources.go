@@ -92,7 +92,7 @@ func (l *Lab) Fig1b() *Report {
 func (l *Lab) Fig1c() *Report {
 	l.ensureCollected()
 	r := &Report{ID: "Fig 1c", Title: "Hitlist addresses mapped to BGP prefixes (zesplot)"}
-	counts, covered := l.prefixCounts(l.P.Hitlist().Sorted())
+	counts, covered := l.prefixCounts(l.P.Hitlist().SortedSeq())
 	items := l.allPrefixItems(counts)
 	rects := zesplot.Layout(items, zesplot.Options{Sized: true})
 	max := 0
@@ -110,16 +110,18 @@ func (l *Lab) Fig1c() *Report {
 // Fig1cSVG returns the actual SVG document for Figure 1c.
 func (l *Lab) Fig1cSVG() string {
 	l.ensureCollected()
-	counts, _ := l.prefixCounts(l.P.Hitlist().Sorted())
+	counts, _ := l.prefixCounts(l.P.Hitlist().SortedSeq())
 	items := l.allPrefixItems(counts)
 	return zesplot.SVG(items, zesplot.Options{Sized: true, Title: "Fig 1c: hitlist addresses per BGP prefix"})
 }
 
-// prefixCounts maps addresses onto their announced prefixes.
-func (l *Lab) prefixCounts(addrs []ip6.Addr) (map[ip6.Prefix]int, int) {
+// prefixCounts maps addresses onto their announced prefixes. Reports
+// pass either a plain slice (ip6.Addrs) or a set's cached sorted view
+// (ShardSet.SortedSeq) — the latter costs no per-report address copy.
+func (l *Lab) prefixCounts(addrs ip6.AddrSeq) (map[ip6.Prefix]int, int) {
 	counts := map[ip6.Prefix]int{}
-	for _, a := range addrs {
-		if p, _, ok := l.P.World.Table.Lookup(a); ok {
+	for i := 0; i < addrs.Len(); i++ {
+		if p, _, ok := l.P.World.Table.Lookup(addrs.At(i)); ok {
 			counts[p]++
 		}
 	}

@@ -153,7 +153,7 @@ func (l *Lab) unstablePrefixes(window int) int {
 func (l *Lab) ensureScanFull() {
 	l.scanFullOnce.Do(func() {
 		l.ensureCollected()
-		l.scanFull = l.P.Sweep(l.P.Hitlist().Sorted(), l.measureDay())
+		l.scanFull = l.P.SweepSet(l.P.Hitlist(), l.measureDay())
 	})
 }
 

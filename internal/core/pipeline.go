@@ -71,6 +71,13 @@ type Pipeline struct {
 	hist       apd.History
 	filter     *apd.Filter
 	verdicts   map[ip6.Prefix]bool
+	// nearMask is the running OR of every candidate's daily branch masks,
+	// updated once per probing day. A candidate is "near aliased" — and
+	// worth re-probing on later days — iff its running mask has >= 12
+	// responding branches, which is exactly the old O(days) history scan
+	// folded into O(1) bookkeeping per day (masks only ever accumulate
+	// under the OR-merge).
+	nearMask map[ip6.Prefix]apd.BranchMask
 }
 
 // New builds the world, the DNS view, and the collectors.
@@ -86,7 +93,7 @@ func New(cfg Config) *Pipeline {
 	}
 	world := netsim.New(cfg.Sim)
 	dns := dnssim.New(world)
-	st := sources.NewStore(
+	st := sources.NewStoreWorkers(cfg.Workers,
 		sources.NewDL(dns, cfg.Sim),
 		sources.NewFDNS(dns, cfg.Sim),
 		sources.NewCT(dns, cfg.Sim),
@@ -112,8 +119,10 @@ func (p *Pipeline) Collect() {
 	}
 }
 
-// Hitlist returns the accumulated hitlist.
-func (p *Pipeline) Hitlist() *ip6.Set { return p.Store.All() }
+// Hitlist returns the accumulated hitlist — the sharded columnar address
+// store every pipeline stage reads from. Its Sorted view is cached and
+// shared: treat it as read-only.
+func (p *Pipeline) Hitlist() *ip6.ShardSet { return p.Store.All() }
 
 // RunAPD performs the day's aliased prefix detection. On the first call
 // it derives the candidate set (hitlist multi-level mapping plus all
@@ -122,26 +131,26 @@ func (p *Pipeline) Hitlist() *ip6.Set { return p.Store.All() }
 // probe identical in the simulator but pointlessly slow (see DESIGN.md).
 func (p *Pipeline) RunAPD(day int) {
 	if p.candidates == nil {
-		p.candidates = apd.HitlistCandidates(p.Hitlist().Sorted(), p.Cfg.MinTargets)
+		p.candidates = apd.HitlistCandidates(p.Hitlist(), p.Cfg.MinTargets)
 		p.candidates = append(p.candidates, apd.BGPCandidates(p.World.Table)...)
 	} else if p.hist.Len() > 0 {
-		// Narrow to near-aliased prefixes (mask ≥ 12 on any prior day).
+		// Narrow to near-aliased prefixes (running mask >= 12 branches).
 		narrow := p.candidates[:0:0]
 		for _, c := range p.candidates {
-			keep := false
-			for di := 0; di < p.hist.Len(); di++ {
-				if p.hist.MergedAt(c.Prefix, di, p.hist.Len()).Count() >= 12 {
-					keep = true
-					break
-				}
-			}
-			if keep {
+			if p.nearMask[c.Prefix].Count() >= 12 {
 				narrow = append(narrow, c)
 			}
 		}
 		p.candidates = narrow
 	}
-	p.hist.Add(p.detector.ProbeDay(p.candidates, day))
+	masks := p.detector.ProbeDay(p.candidates, day)
+	p.hist.Add(masks)
+	if p.nearMask == nil {
+		p.nearMask = make(map[ip6.Prefix]apd.BranchMask, len(masks))
+	}
+	for pfx, m := range masks {
+		p.nearMask[pfx] |= m
+	}
 	di := p.hist.Len() - 1
 	p.verdicts = make(map[ip6.Prefix]bool, len(p.candidates))
 	for _, c := range p.candidates {
@@ -209,6 +218,15 @@ func (s *Scan) Count(p wire.Proto) int {
 // Sweep probes the targets on all five protocols for one day (§6).
 func (p *Pipeline) Sweep(targets []ip6.Addr, day int) *Scan {
 	return &Scan{Day: day, Addrs: targets, Masks: p.scanner.Sweep(targets, day)}
+}
+
+// SweepSet probes every address of the set in sorted order on all five
+// protocols. The scan indexes the set's cached sorted view directly —
+// the hitlist is sorted at most once per mutation epoch and never copied
+// per sweep. The returned Scan shares that view in Addrs: read-only.
+func (p *Pipeline) SweepSet(set *ip6.ShardSet, day int) *Scan {
+	sorted := set.Sorted()
+	return &Scan{Day: day, Addrs: sorted, Masks: p.scanner.SweepSeq(ip6.Addrs(sorted), day)}
 }
 
 // ScanOne probes the targets on a single protocol.

@@ -166,6 +166,28 @@ func AddrFromNybbles(n [32]byte) Addr {
 	return a
 }
 
+// Hash64 returns a well-mixed 64-bit hash of the address. Hi and Lo are
+// absorbed separately through the splitmix64 finalizer, so addresses that
+// collide under a plain Hi^Lo fold still hash apart. It is the key for
+// every hash-based decision on the address hot paths — shard assignment,
+// deterministic sampling, per-host epoch draws — replacing the old
+// pattern of hashing the formatted String() (an allocation plus a
+// 39-byte format per call).
+func (a Addr) Hash64() uint64 {
+	h := hashMix64(a.hi + 0x9e3779b97f4a7c15)
+	return hashMix64(h ^ a.lo)
+}
+
+// hashMix64 is the splitmix64 finalizer.
+func hashMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // IID returns the low 64 bits, the interface identifier under the
 // ubiquitous /64 subnetting convention.
 func (a Addr) IID() uint64 { return a.lo }

@@ -1,0 +1,36 @@
+package ip6
+
+// AddrSeq is a read-only indexed view of a sequence of addresses. It is
+// the currency between the columnar data plane (ShardSet shard views, the
+// cached sorted hitlist) and batch consumers (the scan engine, APD
+// candidate bucketing) that would otherwise force a flatten-copy into a
+// fresh []Addr per consumer.
+type AddrSeq interface {
+	// Len returns the number of addresses in the sequence.
+	Len() int
+	// At returns the address at index i, 0 <= i < Len().
+	At(i int) Addr
+}
+
+// Addrs adapts a plain slice to AddrSeq.
+type Addrs []Addr
+
+// Len returns the slice length.
+func (s Addrs) Len() int { return len(s) }
+
+// At returns the i-th address.
+func (s Addrs) At(i int) Addr { return s[i] }
+
+// ShardCols is a point-in-time columnar view of one ShardSet shard: the
+// parallel (Hi, Lo) arrays in insertion order. The view captures the
+// slice headers, so concurrent appends to the shard never move the
+// elements it covers; callers must not modify the arrays.
+type ShardCols struct {
+	Hi, Lo []uint64
+}
+
+// Len returns the number of addresses in the shard view.
+func (c ShardCols) Len() int { return len(c.Hi) }
+
+// At returns the i-th address of the shard view.
+func (c ShardCols) At(i int) Addr { return Addr{hi: c.Hi[i], lo: c.Lo[i]} }

@@ -2,10 +2,11 @@ package ip6
 
 import "sort"
 
-// Set is an insertion-deduplicating collection of IPv6 addresses.
-// It is the working representation of a hitlist: sources append addresses,
-// the pipeline iterates them in deterministic (sorted) order, and set
-// algebra supports "new addresses per source" accounting.
+// Set is an insertion-deduplicating collection of IPv6 addresses backed
+// by a single map — the right tool for small scratch collections (dedup
+// inside one collector batch, generation-study bookkeeping). The hitlist
+// itself lives in ShardSet, the sharded columnar store with parallel
+// batch operations and a cached sorted view.
 // The zero value is an empty set ready to use.
 type Set struct {
 	m map[Addr]struct{}

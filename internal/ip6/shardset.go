@@ -1,0 +1,525 @@
+package ip6
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// NumShards is the fixed shard count of a ShardSet. Shard assignment is a
+// pure function of the address (Hash64 & (NumShards-1)), so two sets with
+// the same contents always agree shard by shard — the property AddAll and
+// the reference-equivalence tests rely on.
+const (
+	shardBits = 6
+	NumShards = 1 << shardBits
+)
+
+// ShardSet is the production-scale address set of the data plane: a
+// hash-sharded, columnar collection of IPv6 addresses. It replaces the
+// single global map[Addr]struct{} (ip6.Set) as the hitlist
+// representation; Set remains for small scratch collections.
+//
+// Layout: each of the NumShards shards holds a membership map plus
+// parallel (hi, lo) column arrays in insertion order. Batch mutation
+// (AddSlice, AddAll) partitions work by shard and runs shards on parallel
+// workers; membership reads take only a shard-local read lock.
+//
+// Sorted view: Sorted/EachSorted serve a cached globally-sorted view.
+// The cache is invalidated by any write and rebuilt at most once per
+// mutation epoch — parallel per-shard tail sorts, a k-way merge of the
+// tails, and a linear merge with the previous cache — so N consumers of
+// the sorted hitlist pay for one (incremental) sort, not N full ones.
+//
+// Determinism: contents, counts, the sorted view, and the Each iteration
+// order (shard-major, insertion order within a shard) are all independent
+// of the worker count. A ShardSet never removes addresses — hitlist
+// entries "stay indefinitely" (§3) — which is what makes the epoch
+// accounting a single monotone counter.
+//
+// The zero value is an empty set ready to use.
+type ShardSet struct {
+	workers int
+	shards  [NumShards]shard
+	count   atomic.Int64 // total addresses; doubles as the mutation epoch
+
+	sortedMu sync.Mutex
+	sorted   []Addr // cached sorted view; valid iff len == count
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	m      map[Addr]struct{}
+	hi, lo []uint64 // columnar storage, insertion order; append-only
+
+	// sortedN is the insertion-column prefix already covered by the
+	// set's global sorted cache, touched only during rebuilds (under the
+	// set's sortedMu, never under mu).
+	sortedN int
+}
+
+// NewShardSet returns a set preallocated for about n addresses, using all
+// available CPUs for batch operations.
+func NewShardSet(n int) *ShardSet { return NewShardSetWorkers(n, 0) }
+
+// NewShardSetWorkers returns a set with an explicit parallelism cap for
+// batch operations (<= 0 selects GOMAXPROCS). The worker count is purely
+// a throughput knob: every observable result is identical for every
+// value.
+func NewShardSetWorkers(n, workers int) *ShardSet {
+	s := &ShardSet{workers: workers}
+	if per := n / NumShards; per > 0 {
+		for i := range s.shards {
+			s.shards[i].m = make(map[Addr]struct{}, per)
+			s.shards[i].hi = make([]uint64, 0, per)
+			s.shards[i].lo = make([]uint64, 0, per)
+		}
+	}
+	return s
+}
+
+// shardOf assigns an address to its shard — a pure hash, never dependent
+// on insertion history or worker count.
+func shardOf(a Addr) int { return int(a.Hash64() & (NumShards - 1)) }
+
+func (s *ShardSet) workerCount() int {
+	w := s.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > NumShards {
+		w = NumShards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// add inserts a into its shard, reporting whether it was new. Callers
+// hold no locks; the shard lock is taken here.
+func (sh *shard) add(a Addr) bool {
+	if sh.m == nil {
+		sh.m = make(map[Addr]struct{})
+	}
+	if _, ok := sh.m[a]; ok {
+		return false
+	}
+	sh.m[a] = struct{}{}
+	sh.hi = append(sh.hi, a.hi)
+	sh.lo = append(sh.lo, a.lo)
+	return true
+}
+
+// Add inserts a, reporting whether it was newly added.
+func (s *ShardSet) Add(a Addr) bool {
+	sh := &s.shards[shardOf(a)]
+	sh.mu.Lock()
+	isNew := sh.add(a)
+	sh.mu.Unlock()
+	if isNew {
+		s.count.Add(1)
+	}
+	return isNew
+}
+
+// Contains reports membership. It takes only the owning shard's read
+// lock, so lookups scale with readers and never contend across shards.
+func (s *ShardSet) Contains(a Addr) bool {
+	sh := &s.shards[shardOf(a)]
+	sh.mu.RLock()
+	_, ok := sh.m[a]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Len returns the number of addresses.
+func (s *ShardSet) Len() int { return int(s.count.Load()) }
+
+// AddSlice inserts every address in addrs in parallel, returning how many
+// were new. Within each shard, insertion order follows input order, so
+// iteration order is independent of the worker count.
+func (s *ShardSet) AddSlice(addrs []Addr) int {
+	n, _ := s.addBatch(addrs, false)
+	return n
+}
+
+// AddSliceCollect inserts every address in addrs in parallel and returns
+// the newly added ones (each distinct new address exactly once, in
+// shard-major order). This is the batch analog of "Add returned true",
+// used for new-address attribution without a second membership pass.
+func (s *ShardSet) AddSliceCollect(addrs []Addr) []Addr {
+	_, fresh := s.addBatch(addrs, true)
+	return fresh
+}
+
+func (s *ShardSet) addBatch(addrs []Addr, collect bool) (int, []Addr) {
+	n := len(addrs)
+	if n == 0 {
+		return 0, nil
+	}
+	w := s.workerCount()
+	// Phase 1: each contiguous input chunk buckets its element indices by
+	// shard, in parallel. (Indices fit int32: a batch beyond 2^31
+	// addresses is a >32GB argument slice, far past any hitlist batch.)
+	// Bucketing pays off even at w=1: phase 2 then takes each shard lock
+	// once and fills each shard map in a tight run — about 2× faster than
+	// per-address lock/insert on a batch of 10⁶ (see the benchmarks).
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	buckets := make([][NumShards][]int32, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			b := &buckets[c]
+			for i := lo; i < hi; i++ {
+				si := shardOf(addrs[i])
+				b[si] = append(b[si], int32(i))
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Phase 2: each worker owns a contiguous shard range and visits only
+	// its shards' bucketed indices, chunk-major — chunks partition the
+	// input in order, so per-shard insertion order equals input order
+	// regardless of w, and no two workers ever touch the same shard.
+	counts := make([]int, NumShards)
+	var freshPer [][]Addr
+	if collect {
+		freshPer = make([][]Addr, NumShards)
+	}
+	runChunks(NumShards, w, func(slo, shi int) {
+		for si := slo; si < shi; si++ {
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			for c := 0; c < nChunks; c++ {
+				for _, i := range buckets[c][si] {
+					if sh.add(addrs[i]) {
+						counts[si]++
+						if collect {
+							freshPer[si] = append(freshPer[si], addrs[i])
+						}
+					}
+				}
+			}
+			sh.mu.Unlock()
+		}
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total > 0 {
+		s.count.Add(int64(total))
+	}
+	if !collect {
+		return total, nil
+	}
+	fresh := make([]Addr, 0, total)
+	for _, f := range freshPer {
+		fresh = append(fresh, f...)
+	}
+	return total, fresh
+}
+
+// AddAll inserts every address of other, returning how many were new.
+// Shard assignment is content-determined, so shard i of other feeds only
+// shard i of s and all shards proceed in parallel without cross-locking.
+func (s *ShardSet) AddAll(other *ShardSet) int {
+	views := other.ShardSeqs()
+	counts := make([]int, NumShards)
+	runChunks(NumShards, s.workerCount(), func(slo, shi int) {
+		for si := slo; si < shi; si++ {
+			v := views[si]
+			if v.Len() == 0 {
+				continue
+			}
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			for i := 0; i < v.Len(); i++ {
+				if sh.add(v.At(i)) {
+					counts[si]++
+				}
+			}
+			sh.mu.Unlock()
+		}
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total > 0 {
+		s.count.Add(int64(total))
+	}
+	return total
+}
+
+// Each calls fn for every address — shard-major, insertion order within a
+// shard — stopping early if fn returns false. Unlike a Go map walk the
+// order is deterministic, and independent of the worker count used to
+// build the set.
+func (s *ShardSet) Each(fn func(Addr) bool) {
+	for i := range s.shards {
+		v := s.shardView(i)
+		for j := range v.Hi {
+			if !fn(Addr{hi: v.Hi[j], lo: v.Lo[j]}) {
+				return
+			}
+		}
+	}
+}
+
+// shardView captures a shard's column headers under its read lock.
+// Appends by concurrent writers go beyond the captured length and never
+// move earlier elements, so iterating the view afterwards is safe.
+func (s *ShardSet) shardView(i int) ShardCols {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	v := ShardCols{Hi: sh.hi, Lo: sh.lo}
+	sh.mu.RUnlock()
+	return v
+}
+
+// ShardSeqs returns point-in-time columnar views of all shards, the unit
+// of work for shard-parallel consumers (Store.Stats attribution, APD
+// candidate bucketing).
+func (s *ShardSet) ShardSeqs() []ShardCols {
+	out := make([]ShardCols, NumShards)
+	for i := range out {
+		out[i] = s.shardView(i)
+	}
+	return out
+}
+
+// Sorted returns the addresses in ascending numeric order. The returned
+// slice is the set's cached sorted view, rebuilt at most once per
+// mutation epoch and SHARED between callers: treat it as read-only. The
+// rebuild sorts dirty shards' columns in parallel and k-way merges the
+// shard streams in address order.
+func (s *ShardSet) Sorted() []Addr {
+	s.sortedMu.Lock()
+	defer s.sortedMu.Unlock()
+	// Writes only ever grow the set, so the cache is valid exactly when
+	// it covers every address counted so far.
+	n := int(s.count.Load())
+	if s.sorted != nil && len(s.sorted) == n {
+		return s.sorted
+	}
+	s.sorted = s.rebuildSorted()
+	return s.sorted
+}
+
+// EachSorted calls fn for every address in ascending order, stopping
+// early if fn returns false. It consumes the cached sorted view.
+func (s *ShardSet) EachSorted(fn func(Addr) bool) {
+	for _, a := range s.Sorted() {
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// SortedSeq returns the cached sorted view as an AddrSeq, for consumers
+// (e.g. the scan engine) that index targets without copying them.
+func (s *ShardSet) SortedSeq() AddrSeq { return Addrs(s.Sorted()) }
+
+// rebuildSorted is the incremental sorted-view build: each shard's
+// unsorted insertion tail is copied and sorted in parallel, the sorted
+// tails are k-way merged, and the result is two-way merged with the
+// previous global cache into a freshly allocated slice. Per rebuild that
+// costs O(new·log(new)) sorting plus one linear merge, and the set's
+// resident footprint stays at insertion columns + one sorted cache —
+// no per-shard sorted mirrors. Called with sortedMu held; the insertion
+// columns are read through point-in-time views and never mutated here,
+// and the previous cache slice is left intact for existing readers.
+func (s *ShardSet) rebuildSorted() []Addr {
+	tails := make([]ShardCols, NumShards)
+	runChunks(NumShards, s.workerCount(), func(slo, shi int) {
+		for si := slo; si < shi; si++ {
+			sh := &s.shards[si]
+			v := s.shardView(si)
+			if n := len(v.Hi); sh.sortedN < n {
+				tailHi := append([]uint64(nil), v.Hi[sh.sortedN:n]...)
+				tailLo := append([]uint64(nil), v.Lo[sh.sortedN:n]...)
+				sortColumns(tailHi, tailLo)
+				tails[si] = ShardCols{Hi: tailHi, Lo: tailLo}
+				sh.sortedN = n
+			}
+		}
+	})
+	fresh := mergeShardCols(tails)
+	if len(s.sorted) == 0 {
+		return fresh
+	}
+	if len(fresh) == 0 {
+		return s.sorted
+	}
+	old := s.sorted
+	out := make([]Addr, 0, len(old)+len(fresh))
+	i, j := 0, 0
+	for i < len(old) && j < len(fresh) {
+		if old[i].Less(fresh[j]) {
+			out = append(out, old[i])
+			i++
+		} else {
+			out = append(out, fresh[j])
+			j++
+		}
+	}
+	out = append(out, old[i:]...)
+	out = append(out, fresh[j:]...)
+	return out
+}
+
+// runChunks splits [0,n) into up to w contiguous chunks and runs fn on
+// each concurrently. With w == 1 it runs inline.
+func runChunks(n, w int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sortColumns sorts the parallel (hi, lo) arrays in ascending (hi, lo)
+// order: an iterative median-of-three quicksort with an insertion-sort
+// tail, working directly on the columns so no []Addr is materialized.
+// Hand-rolled deliberately: a sort.Interface adapter over the same
+// columns measures 2.4× slower at 2^20 elements (interface calls per
+// comparison/swap dominate); correctness is pinned against sort.Slice by
+// TestSortColumnsProperty.
+func sortColumns(hi, lo []uint64) { quickCols(hi, lo, 0, len(hi)) }
+
+func quickCols(hi, lo []uint64, a, b int) {
+	for b-a > 16 {
+		// Median-of-three pivot: order elements a, m, b-1 and take the
+		// middle one's value.
+		m := int(uint(a+b) >> 1)
+		if colLess(hi, lo, m, a) {
+			colSwap(hi, lo, m, a)
+		}
+		if colLess(hi, lo, b-1, m) {
+			colSwap(hi, lo, b-1, m)
+			if colLess(hi, lo, m, a) {
+				colSwap(hi, lo, m, a)
+			}
+		}
+		ph, pl := hi[m], lo[m]
+		// Hoare partition around the pivot value.
+		i, j := a, b-1
+		for {
+			for hi[i] < ph || (hi[i] == ph && lo[i] < pl) {
+				i++
+			}
+			for hi[j] > ph || (hi[j] == ph && lo[j] > pl) {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			colSwap(hi, lo, i, j)
+			i++
+			j--
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j+1-a < b-(j+1) {
+			quickCols(hi, lo, a, j+1)
+			a = j + 1
+		} else {
+			quickCols(hi, lo, j+1, b)
+			b = j + 1
+		}
+	}
+	for i := a + 1; i < b; i++ {
+		for k := i; k > a && colLess(hi, lo, k, k-1); k-- {
+			colSwap(hi, lo, k, k-1)
+		}
+	}
+}
+
+func colLess(hi, lo []uint64, i, j int) bool {
+	return hi[i] < hi[j] || (hi[i] == hi[j] && lo[i] < lo[j])
+}
+
+func colSwap(hi, lo []uint64, i, j int) {
+	hi[i], hi[j] = hi[j], hi[i]
+	lo[i], lo[j] = lo[j], lo[i]
+}
+
+// mergeShardCols k-way merges sorted shard columns into one ascending
+// []Addr via a binary min-heap of shard cursors. Shards partition the
+// address space by hash, so no address appears in two streams and the
+// merge order is uniquely determined by the values.
+func mergeShardCols(views []ShardCols) []Addr {
+	total := 0
+	type cursor struct {
+		hi, lo []uint64
+		i      int
+	}
+	heap := make([]cursor, 0, len(views))
+	for _, v := range views {
+		total += len(v.Hi)
+		if len(v.Hi) > 0 {
+			heap = append(heap, cursor{hi: v.Hi, lo: v.Lo})
+		}
+	}
+	out := make([]Addr, 0, total)
+	less := func(x, y cursor) bool {
+		return x.hi[x.i] < y.hi[y.i] || (x.hi[x.i] == y.hi[y.i] && x.lo[x.i] < y.lo[y.i])
+	}
+	siftDown := func(k int) {
+		for {
+			c := 2*k + 1
+			if c >= len(heap) {
+				return
+			}
+			if c+1 < len(heap) && less(heap[c+1], heap[c]) {
+				c++
+			}
+			if !less(heap[c], heap[k]) {
+				return
+			}
+			heap[k], heap[c] = heap[c], heap[k]
+			k = c
+		}
+	}
+	for k := len(heap)/2 - 1; k >= 0; k-- {
+		siftDown(k)
+	}
+	for len(heap) > 0 {
+		c := &heap[0]
+		out = append(out, Addr{hi: c.hi[c.i], lo: c.lo[c.i]})
+		c.i++
+		if c.i == len(c.hi) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}

@@ -133,21 +133,29 @@ func (s *Scanner) shard(n int, fn func(lo, hi int)) {
 // parallel against the same Scanner as long as the Responder honors the
 // concurrency contract documented in netsim.
 func (s *Scanner) Scan(targets []ip6.Addr, proto wire.Proto, day int) []Result {
-	results := make([]Result, len(targets))
-	perm := NewPermutation(len(targets), s.seed^uint64(proto)<<32^uint64(day))
+	return s.ScanSeq(ip6.Addrs(targets), proto, day)
+}
+
+// ScanSeq is Scan over an indexed target view. Sweeping a ShardSet's
+// cached sorted view (or any other columnar representation) through here
+// avoids the per-consumer flatten-copy into a fresh []Addr.
+func (s *Scanner) ScanSeq(targets ip6.AddrSeq, proto wire.Proto, day int) []Result {
+	n := targets.Len()
+	results := make([]Result, n)
+	perm := NewPermutation(n, s.seed^uint64(proto)<<32^uint64(day))
 	iv := s.interval()
 
-	s.shard(len(targets), func(lo, hi int) {
+	s.shard(n, func(lo, hi int) {
 		// Each worker walks its slice of the *permuted* sequence;
 		// the sequence position fixes the virtual send time, so
 		// results are identical regardless of worker count.
 		for seq := lo; seq < hi; seq++ {
 			idx := perm.At(seq)
-			addr := targets[idx]
+			addr := targets.At(idx)
 			at := wire.Time(seq) * iv
 			r := s.probeOnce(addr, proto, day, at)
 			for a := 0; !r.OK && a < s.retries; a++ {
-				at += wire.Time(len(targets)) * iv // retry pass later
+				at += wire.Time(n) * iv // retry pass later
 				r = s.probeOnce(addr, proto, day, at)
 			}
 			results[idx] = r
@@ -174,18 +182,23 @@ func (s *Scanner) probeOnce(addr ip6.Addr, proto wire.Proto, day int, at wire.Ti
 // the result is bit-identical to running the protocols one after another
 // at any worker count; only the mask merge happens after the barrier.
 func (s *Scanner) Sweep(targets []ip6.Addr, day int) []wire.RespMask {
+	return s.SweepSeq(ip6.Addrs(targets), day)
+}
+
+// SweepSeq is Sweep over an indexed target view (see ScanSeq).
+func (s *Scanner) SweepSeq(targets ip6.AddrSeq, day int) []wire.RespMask {
 	var perProto [wire.NumProtos][]Result
 	var wg sync.WaitGroup
 	for pi, p := range wire.Protos {
 		wg.Add(1)
 		go func(pi int, p wire.Proto) {
 			defer wg.Done()
-			perProto[pi] = s.Scan(targets, p, day)
+			perProto[pi] = s.ScanSeq(targets, p, day)
 		}(pi, p)
 	}
 	wg.Wait()
 
-	masks := make([]wire.RespMask, len(targets))
+	masks := make([]wire.RespMask, targets.Len())
 	for pi, p := range wire.Protos {
 		for i, r := range perProto[pi] {
 			if r.OK {

@@ -6,7 +6,9 @@
 package sources
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"expanse/internal/bgp"
 	"expanse/internal/dnssim"
@@ -34,7 +36,7 @@ type Source interface {
 	// Collect returns the addresses visible to this source on the given
 	// day. hitlist is the current accumulated hitlist (used by scamper,
 	// which traceroutes all known targets).
-	Collect(day int, hitlist *ip6.Set) []ip6.Addr
+	Collect(day int, hitlist *ip6.ShardSet) []ip6.Addr
 }
 
 func hashStr(s string) uint64 {
@@ -56,25 +58,49 @@ func firstEpoch(key string, salt string, epochs int) int {
 	return int(hashStr(key+"|"+salt) % uint64(epochs))
 }
 
+// addrEpoch is firstEpoch for address-keyed sources. It draws from
+// Addr.Hash64 mixed with the salt hash instead of formatting the address
+// to text — hashStr(a.String()) cost an allocation plus an RFC 5952
+// format per address per collection day on the Bitnodes/Atlas/scamper
+// hot paths. The XOR is re-finalized through mix64: several consumers
+// reduce the same Hash64 by small moduli (the Atlas router filter, this
+// epoch draw), and without the extra mix those draws share parity and
+// correlate instead of being independent.
+func addrEpoch(a ip6.Addr, salt string, epochs int) int {
+	if epochs <= 1 {
+		return 0
+	}
+	return int(mix64(a.Hash64()^hashStr(salt)) % uint64(epochs))
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // dnsSource is a generic forward-DNS-based collector.
 type dnsSource struct {
 	name    string
 	domains []dnssim.Domain
-	epochs  int
+	epochs  []int // firstEpoch per domain, precomputed at construction
 	perDay  int
 }
 
 func (s *dnsSource) Name() string { return s.name }
 
-func (s *dnsSource) Collect(day int, _ *ip6.Set) []ip6.Addr {
+func (s *dnsSource) Collect(day int, _ *ip6.ShardSet) []ip6.Addr {
 	epoch := day / s.perDay
 	var out []ip6.Addr
 	for i := range s.domains {
-		d := &s.domains[i]
-		if firstEpoch(d.Name, s.name, s.epochs) > epoch {
+		if s.epochs[i] > epoch {
 			continue
 		}
-		out = append(out, d.Resolve(day))
+		out = append(out, s.domains[i].Resolve(day))
 	}
 	return out
 }
@@ -109,10 +135,11 @@ func NewAXFR(dns *dnssim.Server, cfg netsim.Config) Source {
 }
 
 func newDNSSource(name string, dns *dnssim.Server, cfg netsim.Config, keep func(*dnssim.Domain) bool) Source {
-	s := &dnsSource{name: name, epochs: cfg.Epochs, perDay: cfg.EpochDays}
+	s := &dnsSource{name: name, perDay: cfg.EpochDays}
 	for _, d := range dns.Domains() {
 		if keep(&d) {
 			s.domains = append(s.domains, d)
+			s.epochs = append(s.epochs, firstEpoch(d.Name, name, cfg.Epochs))
 		}
 	}
 	return s
@@ -121,27 +148,28 @@ func newDNSSource(name string, dns *dnssim.Server, cfg netsim.Config, keep func(
 // bitnodesSource returns current Bitcoin peers (client addresses).
 type bitnodesSource struct {
 	hosts  []netsim.Host
-	epochs int
+	epochs []int // firstEpoch per host, precomputed at construction
 	perDay int
 }
 
 // NewBitnodes builds the Bitnodes API source.
 func NewBitnodes(world *netsim.Internet) Source {
 	cfg := world.Config()
-	return &bitnodesSource{
-		hosts:  world.Hosts(netsim.ClassBitnode),
-		epochs: cfg.Epochs,
-		perDay: cfg.EpochDays,
+	hosts := world.Hosts(netsim.ClassBitnode)
+	s := &bitnodesSource{hosts: hosts, perDay: cfg.EpochDays}
+	for _, h := range hosts {
+		s.epochs = append(s.epochs, addrEpoch(h.Addr, BIT, cfg.Epochs))
 	}
+	return s
 }
 
 func (s *bitnodesSource) Name() string { return BIT }
 
-func (s *bitnodesSource) Collect(day int, _ *ip6.Set) []ip6.Addr {
+func (s *bitnodesSource) Collect(day int, _ *ip6.ShardSet) []ip6.Addr {
 	epoch := day / s.perDay
 	var out []ip6.Addr
-	for _, h := range s.hosts {
-		if firstEpoch(h.Addr.String(), BIT, s.epochs) > epoch {
+	for i, h := range s.hosts {
+		if s.epochs[i] > epoch {
 			continue
 		}
 		// The API only lists currently connected peers.
@@ -156,7 +184,7 @@ func (s *bitnodesSource) Collect(day int, _ *ip6.Set) []ip6.Addr {
 // atlasSource returns RIPE Atlas probe addresses and ipmap data.
 type atlasSource struct {
 	hosts  []netsim.Host
-	epochs int
+	epochs []int // firstEpoch per host, precomputed at construction
 	perDay int
 }
 
@@ -167,20 +195,24 @@ func NewAtlas(world *netsim.Internet) Source {
 	// Atlas's built-in traceroutes also surface some core routers.
 	routers := world.Hosts(netsim.ClassRouter)
 	for _, r := range routers {
-		if hashStr(r.Addr.String())%10 < 3 {
+		if r.Addr.Hash64()%10 < 3 {
 			hosts = append(hosts, r)
 		}
 	}
-	return &atlasSource{hosts: hosts, epochs: cfg.Epochs, perDay: cfg.EpochDays}
+	s := &atlasSource{hosts: hosts, perDay: cfg.EpochDays}
+	for _, h := range hosts {
+		s.epochs = append(s.epochs, addrEpoch(h.Addr, RA, cfg.Epochs))
+	}
+	return s
 }
 
 func (s *atlasSource) Name() string { return RA }
 
-func (s *atlasSource) Collect(day int, _ *ip6.Set) []ip6.Addr {
+func (s *atlasSource) Collect(day int, _ *ip6.ShardSet) []ip6.Addr {
 	epoch := day / s.perDay
 	var out []ip6.Addr
-	for _, h := range s.hosts {
-		if firstEpoch(h.Addr.String(), RA, s.epochs) <= epoch {
+	for i, h := range s.hosts {
+		if s.epochs[i] <= epoch {
 			out = append(out, h.Addr)
 		}
 	}
@@ -199,7 +231,7 @@ func NewScamper(world *netsim.Internet) Source {
 
 func (s *scamperSource) Name() string { return Scamper }
 
-func (s *scamperSource) Collect(day int, hitlist *ip6.Set) []ip6.Addr {
+func (s *scamperSource) Collect(day int, hitlist *ip6.ShardSet) []ip6.Addr {
 	if hitlist == nil {
 		return nil
 	}
@@ -211,7 +243,7 @@ func (s *scamperSource) Collect(day int, hitlist *ip6.Set) []ip6.Addr {
 		// sample there loses no router addresses in practice; subscriber
 		// space is always traced in full because each target can reveal
 		// a distinct CPE hop (performance substitution, see DESIGN.md).
-		if !s.world.InSubscriberSpace(a) && hashStr(a.String())%16 != 0 {
+		if !s.world.InSubscriberSpace(a) && a.Hash64()%16 != 0 {
 			return true
 		}
 		for _, hop := range s.world.TraceroutePath(a, day) {
@@ -224,12 +256,15 @@ func (s *scamperSource) Collect(day int, hitlist *ip6.Set) []ip6.Addr {
 
 // Store accumulates source output over collection epochs: addresses stay
 // on the hitlist indefinitely (§3: "IP addresses will stay indefinitely
-// in our scanning list").
+// in our scanning list"). All address sets are hash-sharded columnar
+// ShardSets — the hitlist data plane — so per-day dedup, sorted-view
+// construction and attribution fan out over shards.
 type Store struct {
 	sources []Source
-	perSrc  map[string]*ip6.Set // all addresses a source ever produced
-	newSrc  map[string]*ip6.Set // addresses first contributed by a source
-	all     *ip6.Set
+	workers int
+	perSrc  map[string]*ip6.ShardSet // all addresses a source ever produced
+	newSrc  map[string]*ip6.ShardSet // addresses first contributed by a source
+	all     *ip6.ShardSet
 	runup   []RunupPoint
 }
 
@@ -241,32 +276,40 @@ type RunupPoint struct {
 }
 
 // NewStore creates a store over the given sources (order = priority for
-// "new address" attribution, mirroring Table 2's source order).
-func NewStore(srcs ...Source) *Store {
+// "new address" attribution, mirroring Table 2's source order), using all
+// available CPUs for batch set operations.
+func NewStore(srcs ...Source) *Store { return NewStoreWorkers(0, srcs...) }
+
+// NewStoreWorkers creates a store with an explicit data-plane worker
+// count (<= 0 selects GOMAXPROCS). Purely a throughput knob: store
+// contents, statistics and iteration order are identical for every value.
+func NewStoreWorkers(workers int, srcs ...Source) *Store {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	st := &Store{
 		sources: srcs,
-		perSrc:  map[string]*ip6.Set{},
-		newSrc:  map[string]*ip6.Set{},
-		all:     ip6.NewSet(4096),
+		workers: workers,
+		perSrc:  map[string]*ip6.ShardSet{},
+		newSrc:  map[string]*ip6.ShardSet{},
+		all:     ip6.NewShardSetWorkers(4096, workers),
 	}
 	for _, s := range srcs {
-		st.perSrc[s.Name()] = ip6.NewSet(1024)
-		st.newSrc[s.Name()] = ip6.NewSet(1024)
+		st.perSrc[s.Name()] = ip6.NewShardSetWorkers(1024, workers)
+		st.newSrc[s.Name()] = ip6.NewShardSetWorkers(1024, workers)
 	}
 	return st
 }
 
 // CollectDay runs every source for one collection day and accumulates.
+// Sources run in priority order (new-address attribution depends on it);
+// within a source, per-set dedup fans out over shards.
 func (st *Store) CollectDay(day int) {
 	for _, s := range st.sources {
 		addrs := s.Collect(day, st.all)
-		per := st.perSrc[s.Name()]
-		nw := st.newSrc[s.Name()]
-		for _, a := range addrs {
-			per.Add(a)
-			if st.all.Add(a) {
-				nw.Add(a)
-			}
+		st.perSrc[s.Name()].AddSlice(addrs)
+		if fresh := st.all.AddSliceCollect(addrs); len(fresh) > 0 {
+			st.newSrc[s.Name()].AddSlice(fresh)
 		}
 	}
 	pt := RunupPoint{Day: day, Cumulative: map[string]int{}, Total: st.all.Len()}
@@ -277,13 +320,13 @@ func (st *Store) CollectDay(day int) {
 }
 
 // All returns the accumulated hitlist.
-func (st *Store) All() *ip6.Set { return st.all }
+func (st *Store) All() *ip6.ShardSet { return st.all }
 
 // PerSource returns a source's accumulated address set.
-func (st *Store) PerSource(name string) *ip6.Set { return st.perSrc[name] }
+func (st *Store) PerSource(name string) *ip6.ShardSet { return st.perSrc[name] }
 
 // NewPerSource returns the addresses first contributed by the source.
-func (st *Store) NewPerSource(name string) *ip6.Set { return st.newSrc[name] }
+func (st *Store) NewPerSource(name string) *ip6.ShardSet { return st.newSrc[name] }
 
 // Runup returns the epoch snapshots.
 func (st *Store) Runup() []RunupPoint { return st.runup }
@@ -306,7 +349,66 @@ type ASShare struct {
 	Share float64
 }
 
-// Stats computes Table 2 for the current store contents.
+// attribution maps a set's addresses onto origin ASes and announced
+// prefixes, fanning the table lookups out over the set's shards. Each
+// worker fills private count maps for its shard range; the merges happen
+// in shard order. Counts are sums, so the result is identical to the old
+// serial walk for any worker count.
+func attribution(set *ip6.ShardSet, table *bgp.Table, workers int) (map[bgp.ASN]int, map[ip6.Prefix]int) {
+	shards := set.ShardSeqs()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type local struct {
+		as  map[bgp.ASN]int
+		pfx map[ip6.Prefix]int
+	}
+	locals := make([]local, workers)
+	chunk := (len(shards) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := local{as: map[bgp.ASN]int{}, pfx: map[ip6.Prefix]int{}}
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(shards) {
+				hi = len(shards)
+			}
+			for si := lo; si < hi; si++ {
+				v := shards[si]
+				for i := 0; i < v.Len(); i++ {
+					if p, asn, ok := table.Lookup(v.At(i)); ok {
+						l.as[asn]++
+						l.pfx[p]++
+					}
+				}
+			}
+			locals[w] = l
+		}(w)
+	}
+	wg.Wait()
+	asCount := map[bgp.ASN]int{}
+	pfxCount := map[ip6.Prefix]int{}
+	for _, l := range locals {
+		for a, c := range l.as {
+			asCount[a] += c
+		}
+		for p, c := range l.pfx {
+			pfxCount[p] += c
+		}
+	}
+	return asCount, pfxCount
+}
+
+// Stats computes Table 2 for the current store contents. AS and prefix
+// attribution runs shard-parallel per source.
 func (st *Store) Stats(table *bgp.Table) []SourceStat {
 	var out []SourceStat
 	for _, s := range st.sources {
@@ -316,15 +418,7 @@ func (st *Store) Stats(table *bgp.Table) []SourceStat {
 			IPs:    set.Len(),
 			NewIPs: st.newSrc[s.Name()].Len(),
 		}
-		asCount := map[bgp.ASN]int{}
-		pfxCount := map[ip6.Prefix]int{}
-		set.Each(func(a ip6.Addr) bool {
-			if p, asn, ok := table.Lookup(a); ok {
-				asCount[asn]++
-				pfxCount[p]++
-			}
-			return true
-		})
+		asCount, pfxCount := attribution(set, table, st.workers)
 		stat.ASes = len(asCount)
 		stat.Prefixes = len(pfxCount)
 		stat.TopAS = topShares(asCount, table, 3, set.Len())
@@ -336,15 +430,7 @@ func (st *Store) Stats(table *bgp.Table) []SourceStat {
 // TotalStat computes the "Total" row of Table 2.
 func (st *Store) TotalStat(table *bgp.Table) SourceStat {
 	stat := SourceStat{Name: "Total", IPs: st.all.Len(), NewIPs: st.all.Len()}
-	asCount := map[bgp.ASN]int{}
-	pfxCount := map[ip6.Prefix]int{}
-	st.all.Each(func(a ip6.Addr) bool {
-		if p, asn, ok := table.Lookup(a); ok {
-			asCount[asn]++
-			pfxCount[p]++
-		}
-		return true
-	})
+	asCount, pfxCount := attribution(st.all, table, st.workers)
 	stat.ASes = len(asCount)
 	stat.Prefixes = len(pfxCount)
 	stat.TopAS = topShares(asCount, table, 3, st.all.Len())

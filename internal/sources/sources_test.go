@@ -1,6 +1,7 @@
 package sources
 
 import (
+	"fmt"
 	"testing"
 
 	"expanse/internal/bgp"
@@ -195,6 +196,211 @@ func TestAccumulationKeepsOldAddresses(t *testing.T) {
 	after := st.All().Len()
 	if after < before {
 		t.Error("store dropped addresses")
+	}
+}
+
+// TestStoreMatchesMapReference pins the data-plane refactor: the sharded
+// columnar Store must accumulate byte-for-byte the same state as the
+// pre-refactor map-based implementation (serial ip6.Set, per-address
+// Add/attribution) fed the same source outputs.
+func TestStoreMatchesMapReference(t *testing.T) {
+	cfg := world.Config()
+	st := NewStore(allSources()...)
+
+	// Reference: the old CollectDay loop over plain sets. The reference
+	// keeps its own hitlist mirror to feed scamper, built with serial
+	// single adds.
+	refSrcs := allSources()
+	refAll := ip6.NewSet(0)
+	refMirror := ip6.NewShardSetWorkers(0, 1)
+	refPer := map[string]*ip6.Set{}
+	refNew := map[string]*ip6.Set{}
+	for _, s := range refSrcs {
+		refPer[s.Name()] = ip6.NewSet(0)
+		refNew[s.Name()] = ip6.NewSet(0)
+	}
+	var refRunup []RunupPoint
+
+	setsEqual := func(got *ip6.ShardSet, want *ip6.Set) bool {
+		if got.Len() != want.Len() {
+			return false
+		}
+		ok := true
+		got.Each(func(a ip6.Addr) bool {
+			if !want.Contains(a) {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+
+	for e := 0; e < cfg.Epochs; e++ {
+		day := e * cfg.EpochDays
+		st.CollectDay(day)
+
+		for _, s := range refSrcs {
+			addrs := s.Collect(day, refMirror)
+			per, nw := refPer[s.Name()], refNew[s.Name()]
+			for _, a := range addrs {
+				per.Add(a)
+				if refAll.Add(a) {
+					nw.Add(a)
+				}
+				refMirror.Add(a)
+			}
+		}
+		pt := RunupPoint{Day: day, Cumulative: map[string]int{}, Total: refAll.Len()}
+		for name, set := range refPer {
+			pt.Cumulative[name] = set.Len()
+		}
+		refRunup = append(refRunup, pt)
+
+		if !setsEqual(st.All(), refAll) {
+			t.Fatalf("epoch %d: hitlist diverged from map reference (%d vs %d)",
+				e, st.All().Len(), refAll.Len())
+		}
+	}
+	for _, name := range Names {
+		if !setsEqual(st.PerSource(name), refPer[name]) {
+			t.Errorf("per-source set %q diverged", name)
+		}
+		if !setsEqual(st.NewPerSource(name), refNew[name]) {
+			t.Errorf("new-address attribution for %q diverged", name)
+		}
+	}
+	for i, pt := range st.Runup() {
+		want := refRunup[i]
+		if pt.Day != want.Day || pt.Total != want.Total {
+			t.Errorf("runup point %d = %+v, want %+v", i, pt, want)
+		}
+		for name, c := range want.Cumulative {
+			if pt.Cumulative[name] != c {
+				t.Errorf("runup point %d source %q = %d, want %d", i, name, pt.Cumulative[name], c)
+			}
+		}
+	}
+	// The sorted hitlist view must equal the reference sort.
+	got, want := st.All().Sorted(), refAll.Sorted()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted view differs at %d", i)
+		}
+	}
+}
+
+// TestStoreDeterministicAcrossWorkers pins the data plane's throughput
+// knob: store contents, statistics, runup and iteration order must be
+// identical for every worker count.
+func TestStoreDeterministicAcrossWorkers(t *testing.T) {
+	cfg := world.Config()
+	build := func(workers int) *Store {
+		st := NewStoreWorkers(workers, allSources()...)
+		for e := 0; e < cfg.Epochs; e++ {
+			st.CollectDay(e * cfg.EpochDays)
+		}
+		return st
+	}
+	ref := build(1)
+	refSorted := ref.All().Sorted()
+	refStats := ref.Stats(world.Table)
+	refTotal := ref.TotalStat(world.Table)
+	for _, workers := range []int{4, 16} {
+		st := build(workers)
+		got := st.All().Sorted()
+		if len(got) != len(refSorted) {
+			t.Fatalf("workers=%d: hitlist %d addrs, want %d", workers, len(got), len(refSorted))
+		}
+		for i := range refSorted {
+			if got[i] != refSorted[i] {
+				t.Fatalf("workers=%d: sorted hitlist differs at %d", workers, i)
+			}
+		}
+		// Each order (shard-major) must match too — report code iterates it.
+		var order []ip6.Addr
+		st.All().Each(func(a ip6.Addr) bool { order = append(order, a); return true })
+		var refOrder []ip6.Addr
+		ref.All().Each(func(a ip6.Addr) bool { refOrder = append(refOrder, a); return true })
+		for i := range refOrder {
+			if order[i] != refOrder[i] {
+				t.Fatalf("workers=%d: Each order differs at %d", workers, i)
+			}
+		}
+		stats := st.Stats(world.Table)
+		for i, s := range stats {
+			r := refStats[i]
+			if s.Name != r.Name || s.IPs != r.IPs || s.NewIPs != r.NewIPs ||
+				s.ASes != r.ASes || s.Prefixes != r.Prefixes || len(s.TopAS) != len(r.TopAS) {
+				t.Errorf("workers=%d: stats row %q differs: %+v vs %+v", workers, s.Name, s, r)
+			}
+			for j := range s.TopAS {
+				if s.TopAS[j] != r.TopAS[j] {
+					t.Errorf("workers=%d: %q top-AS %d differs", workers, s.Name, j)
+				}
+			}
+		}
+		if tot := st.TotalStat(world.Table); tot.IPs != refTotal.IPs || tot.ASes != refTotal.ASes ||
+			tot.Prefixes != refTotal.Prefixes {
+			t.Errorf("workers=%d: total stat differs: %+v vs %+v", workers, tot, refTotal)
+		}
+	}
+}
+
+// synthSource feeds a per-day synthetic address batch — the ≥10⁶-address
+// hitlist for the collection benchmark.
+type synthSource struct {
+	name  string
+	byDay map[int][]ip6.Addr
+}
+
+func (s *synthSource) Name() string { return s.name }
+func (s *synthSource) Collect(day int, _ *ip6.ShardSet) []ip6.Addr {
+	return s.byDay[day]
+}
+
+func synthAddrs(n int, seed uint64) []ip6.Addr {
+	out := make([]ip6.Addr, n)
+	x := seed
+	next := func() uint64 { // splitmix64
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		return z ^ z>>31
+	}
+	for i := range out {
+		v := next()
+		out[i] = ip6.AddrFromUint64(0x2001_0db8_0000_0000|v>>40, next())
+	}
+	return out
+}
+
+// BenchmarkStoreCollect measures two CollectDay rounds over a
+// 2^20-address synthetic hitlist: day 0 is all-new insertion, day 1
+// re-offers the full batch (pure dedup) plus a fresh 25% tail — the
+// accumulate-forever pattern of §3 — at several data-plane worker
+// counts.
+func BenchmarkStoreCollect(b *testing.B) {
+	const n = 1 << 20
+	base := synthAddrs(n, 0x16c18)
+	extra := synthAddrs(n/4, 0x9d)
+	day1 := append(append([]ip6.Addr{}, base...), extra...)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := NewStoreWorkers(workers,
+					&synthSource{name: "synth", byDay: map[int][]ip6.Addr{0: base, 1: day1}},
+				)
+				st.CollectDay(0)
+				st.CollectDay(1)
+				if st.All().Len() != n+len(extra) {
+					b.Fatal("bad dedup")
+				}
+			}
+		})
 	}
 }
 
