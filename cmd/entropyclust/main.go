@@ -33,8 +33,10 @@ func main() {
 	cfg.Workers = *workers
 	p := core.New(cfg)
 	p.Collect()
-	addrs := p.Hitlist().Sorted()
-	fmt.Printf("hitlist: %d addresses\n", len(addrs))
+	// The grouping stage consumes the store's cached sorted view directly;
+	// nothing is flattened or map-bucketed per grouping.
+	sorted := p.Hitlist().SortedSeq()
+	fmt.Printf("hitlist: %d addresses\n", sorted.Len())
 
 	threshold := *min
 	if threshold <= 0 {
@@ -46,11 +48,11 @@ func main() {
 	var groups []entropy.Group
 	switch *group {
 	case "prefix32":
-		groups = entropy.ByPrefixLen(addrs, 32, threshold, *a, *b)
+		groups = entropy.ByPrefixLen(sorted, 32, threshold, *a, *b, p.Cfg.Workers)
 	case "bgp":
-		groups = entropy.ByBGPPrefix(addrs, p.World.Table, threshold, *a, *b)
+		groups = entropy.ByBGPPrefix(sorted, p.World.Table, threshold, *a, *b, p.Cfg.Workers)
 	case "as":
-		groups = entropy.ByAS(addrs, p.World.Table, threshold, *a, *b)
+		groups = entropy.ByAS(sorted, p.World.Table, threshold, *a, *b, p.Cfg.Workers)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown grouping %q\n", *group)
 		os.Exit(2)
@@ -60,15 +62,16 @@ func main() {
 		return
 	}
 
+	// One elbow sweep yields both the curve and the winning k-means run;
+	// the chosen k is never re-run.
 	vectors := entropy.Vectors(groups)
-	k, curve := cluster.ChooseK(vectors, *kmax, 0x16c18)
+	res, curve := cluster.ChooseK(vectors, *kmax, 0x16c18, p.Cfg.Workers)
 	fmt.Print("SSE(k):")
 	for i, s := range curve {
 		fmt.Printf(" k%d=%.2f", i+1, s)
 	}
-	fmt.Printf("\nelbow k = %d\n\n", k)
+	fmt.Printf("\nelbow k = %d\n\n", res.K)
 
-	res := cluster.KMeans(vectors, k, 0x16c18)
 	for _, s := range cluster.Summarize(vectors, res) {
 		fmt.Printf("cluster %d: %5.1f%% (%d networks)\n  median entropy F%d-%d:", s.ID, s.Share*100, s.Size, *a, *b)
 		for _, h := range s.MedianEntropy {

@@ -3,12 +3,22 @@
 // summaries of the paper's Figure 2 (§4: "we run the k-means algorithm on
 // the obtained dataset … we use the well-known elbow method to find the
 // number of clusters").
+//
+// Two independent axes parallelize without changing a single byte of
+// output: the elbow sweep runs its k = 1..kmax k-means instances
+// concurrently (each instance derives its randomness from the same
+// per-run seed, so the runs never share state), and within one k-means
+// run the assignment step chunks points across workers (each point's
+// nearest centroid is a pure function of the centroids, and the
+// per-chunk changed flags merge by OR). Centroid accumulation and SSE
+// stay serial so float summation order is fixed.
 package cluster
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"expanse/internal/stats"
 )
@@ -21,10 +31,32 @@ type Result struct {
 	SSE       float64     // sum of squared distances to assigned centroid
 }
 
+// assignParallelMin is the point count below which the assignment step is
+// not worth fanning out.
+const assignParallelMin = 1 << 10
+
 // KMeans clusters points into k groups. Deterministic for a given seed.
 // Points must all have equal dimension. Empty input or k <= 0 yields an
 // empty result; k > len(points) is clamped.
 func KMeans(points [][]float64, k int, seed int64) Result {
+	return KMeansWorkers(points, k, seed, 1)
+}
+
+// KMeansWorkers is KMeans with the assignment step chunked over up to
+// workers goroutines. The worker count is purely a throughput knob: the
+// result is byte-identical for every value.
+//
+// Ties in the assignment step keep the incumbent cluster (a point moves
+// only on strict improvement). Empty clusters are repaired by reseeding
+// the centroid on the farthest point whose current cluster can spare it
+// (owns more than one point) and moving that point into the repaired
+// cluster immediately, so every returned cluster owns at least one point
+// and the assignment stays consistent with the centroids even if the
+// iteration cap stops the loop right after a repair. (An earlier version
+// reseeded the centroid after the convergence flag was computed, so the
+// loop could terminate with the repaired centroid owning no points and
+// the final SSE measured against a centroid no point was assigned to.)
+func KMeansWorkers(points [][]float64, k int, seed int64, workers int) Result {
 	n := len(points)
 	if n == 0 || k <= 0 {
 		return Result{}
@@ -35,23 +67,14 @@ func KMeans(points [][]float64, k int, seed int64) Result {
 	rng := rand.New(rand.NewSource(seed))
 	centroids := seedPlusPlus(points, k, rng)
 	assign := make([]int, n)
+	dim := len(points[0])
 	const maxIter = 100
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for i, p := range points {
-			best, bd := 0, math.Inf(1)
-			for c, cen := range centroids {
-				if d := sqDist(p, cen); d < bd {
-					best, bd = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
-		// Recompute centroids.
-		dim := len(points[0])
+		changed := assignStep(points, centroids, assign, workers)
+		// Recompute centroids. Serial accumulation: float sums depend on
+		// addition order, and byte-identical results across worker counts
+		// matter more than parallelizing an O(n·dim) pass dominated by the
+		// O(n·k·dim) assignment above.
 		sums := make([][]float64, k)
 		counts := make([]int, k)
 		for c := range sums {
@@ -64,18 +87,46 @@ func KMeans(points [][]float64, k int, seed int64) Result {
 				sums[c][d] += v
 			}
 		}
+		// Repair empty clusters BEFORE computing any means, while sums are
+		// still raw: re-seed on the farthest point whose cluster owns more
+		// than one point (never emptying a singleton, which would
+		// oscillate the hole between clusters) and move that point over,
+		// updating sums and counts on both sides. The mean pass below then
+		// yields centroids consistent with the final assignment even if
+		// the iteration cap stops the loop right after a repair.
+		for c := range centroids {
+			if counts[c] != 0 {
+				continue
+			}
+			far, fd := -1, -1.0
+			for i, p := range points {
+				if counts[assign[i]] < 2 {
+					continue
+				}
+				if d := sqDist(p, centroids[assign[i]]); d > fd {
+					far, fd = i, d
+				}
+			}
+			if far < 0 {
+				// Unreachable while k <= n (an empty cluster then implies
+				// some cluster owns two points); kept as a guard so a
+				// future invariant change degrades to an un-repaired
+				// cluster instead of corrupting counts.
+				continue
+			}
+			donor := assign[far]
+			for d, v := range points[far] {
+				sums[donor][d] -= v
+				sums[c][d] = v
+			}
+			counts[donor]--
+			counts[c] = 1
+			assign[far] = c
+			changed = true
+		}
 		for c := range centroids {
 			if counts[c] == 0 {
-				// Re-seed an empty cluster on the point farthest from
-				// its centroid, a standard k-means repair.
-				far, fd := 0, -1.0
-				for i, p := range points {
-					if d := sqDist(p, centroids[assign[i]]); d > fd {
-						far, fd = i, d
-					}
-				}
-				centroids[c] = append([]float64(nil), points[far]...)
-				continue
+				continue // un-repaired (see guard above): keep the old centroid
 			}
 			for d := range sums[c] {
 				sums[c][d] /= float64(counts[c])
@@ -91,6 +142,64 @@ func KMeans(points [][]float64, k int, seed int64) Result {
 		sse += sqDist(p, centroids[assign[i]])
 	}
 	return Result{K: k, Assign: assign, Centroids: centroids, SSE: sse}
+}
+
+// assignStep assigns every point to its nearest centroid (keeping the
+// incumbent on exact ties) and reports whether anything moved. Each
+// point's new assignment is a pure function of the centroids, so chunking
+// points across workers is byte-identical to the serial pass; the changed
+// flags merge by OR.
+func assignStep(points [][]float64, centroids [][]float64, assign []int, workers int) bool {
+	n := len(points)
+	span := func(lo, hi int) bool {
+		changed := false
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			best := assign[i]
+			bd := sqDist(p, centroids[best])
+			for c, cen := range centroids {
+				if c == best {
+					continue
+				}
+				if d := sqDist(p, cen); d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		return changed
+	}
+	if workers <= 1 || n < assignParallelMin {
+		return span(0, n)
+	}
+	w := workers
+	if w > n/assignParallelMin+1 {
+		w = n/assignParallelMin + 1
+	}
+	chunk := (n + w - 1) / w
+	flags := make([]bool, w)
+	var wg sync.WaitGroup
+	for c := 0; c < w; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			flags[c] = span(lo, hi)
+		}(c)
+	}
+	wg.Wait()
+	for _, f := range flags {
+		if f {
+			return true
+		}
+	}
+	return false
 }
 
 // seedPlusPlus is k-means++ initialization: the first centroid uniform,
@@ -141,14 +250,72 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// ElbowCurve returns SSE(k) for k = 1..kmax (equation (6)).
-func ElbowCurve(points [][]float64, kmax int, seed int64) []float64 {
+// ElbowResults runs KMeans for every k = 1..kmax, fanning the runs out
+// over up to workers goroutines. Every run derives its randomness from
+// the same seed independently (exactly as the serial sweep did), so the
+// sweep is byte-identical for every worker count. When there are spare
+// workers beyond the number of k values, the surplus fans out inside each
+// run's assignment step.
+func ElbowResults(points [][]float64, kmax int, seed int64, workers int) []Result {
 	if kmax > len(points) {
 		kmax = len(points)
 	}
-	out := make([]float64, kmax)
-	for k := 1; k <= kmax; k++ {
-		out[k-1] = KMeans(points, k, seed).SSE
+	if kmax <= 0 {
+		return nil
+	}
+	out := make([]Result, kmax)
+	w := workers
+	if w <= 0 {
+		w = 1
+	}
+	if w > kmax {
+		w = kmax
+	}
+	inner := 1
+	if workers > kmax {
+		inner = (workers + kmax - 1) / kmax
+	}
+	if w <= 1 {
+		for i := 0; i < kmax; i++ {
+			out[i] = KMeansWorkers(points, i+1, seed, inner)
+		}
+		return out
+	}
+	// Large k runs cost far more than small ones, so hand k values to
+	// workers from a shared queue rather than in contiguous chunks, and
+	// dispatch the largest k first (LPT scheduling: the costliest run
+	// must not start last). out is indexed, so scheduling order cannot
+	// affect the result.
+	var next sync.Mutex
+	nextK := 0
+	var wg sync.WaitGroup
+	for c := 0; c < w; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := kmax - 1 - nextK
+				nextK++
+				next.Unlock()
+				if i < 0 {
+					return
+				}
+				out[i] = KMeansWorkers(points, i+1, seed, inner)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ElbowCurve returns SSE(k) for k = 1..kmax (equation (6)), computed by
+// the concurrent sweep.
+func ElbowCurve(points [][]float64, kmax int, seed int64, workers int) []float64 {
+	results := ElbowResults(points, kmax, seed, workers)
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.SSE
 	}
 	return out
 }
@@ -178,10 +345,20 @@ func Elbow(sse []float64) int {
 	return bestK
 }
 
-// ChooseK runs the elbow method end to end.
-func ChooseK(points [][]float64, kmax int, seed int64) (k int, curve []float64) {
-	curve = ElbowCurve(points, kmax, seed)
-	return Elbow(curve), curve
+// ChooseK runs the elbow method end to end and returns the winning
+// k-means Result (the sweep's run at the elbow k) along with the SSE
+// curve, so callers never re-run KMeans at the chosen k.
+func ChooseK(points [][]float64, kmax int, seed int64, workers int) (Result, []float64) {
+	results := ElbowResults(points, kmax, seed, workers)
+	curve := make([]float64, len(results))
+	for i, r := range results {
+		curve[i] = r.SSE
+	}
+	k := Elbow(curve)
+	if k == 0 {
+		return Result{}, curve
+	}
+	return results[k-1], curve
 }
 
 // Summary describes one cluster as the paper plots it: its share of

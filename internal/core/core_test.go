@@ -290,17 +290,23 @@ func TestLabConcurrentExperiments(t *testing.T) {
 }
 
 // TestReportsIdenticalAcrossWorkers pins end-to-end determinism of the
-// sharded data plane: every report — collection statistics, APD impact,
-// cross-protocol matrices, the longitudinal study — must be byte-
-// identical no matter how many workers the store, scanner and detector
-// fan out over.
+// sharded data plane AND the analysis plane: every report — collection
+// statistics, the Fig 2/3 entropy-clustering family (run-boundary
+// grouping, parallel fingerprints, the concurrent elbow sweep), APD
+// impact, cross-protocol matrices, the longitudinal study — must be
+// byte-identical no matter how many workers the store, scanner, detector
+// and clustering engine fan out over.
 func TestReportsIdenticalAcrossWorkers(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Sim.Scale = 0.03
 	cfg.Sim.Registry.ASes = 120
 
 	experiments := func(l *Lab) []func() *Report {
-		return []func() *Report{l.Table1, l.Table2, l.Fig1a, l.Fig1c, l.Sec53, l.Fig7, l.Fig8, l.Fig10}
+		return []func() *Report{
+			l.Table1, l.Table2, l.Fig1a, l.Fig1c,
+			l.Fig2a, l.Fig2b, l.Fig3a, l.Fig3b,
+			l.Sec53, l.Fig7, l.Fig8, l.Fig10,
+		}
 	}
 	build := func(workers int) []string {
 		c := cfg

@@ -5,13 +5,17 @@ import (
 
 	"expanse/internal/cluster"
 	"expanse/internal/entropy"
+	"expanse/internal/ip6"
 	"expanse/internal/wire"
 	"expanse/internal/zesplot"
 )
 
 // clusteringReport runs the full §4 method — fingerprint, elbow, k-means,
 // summaries — over the given groups and renders the Figure 2-style rows.
-func clusteringReport(r *Report, groups []entropy.Group, a int) (cluster.Result, []entropy.Group) {
+// The fingerprints cover nybbles a..a+dim-1; the elbow sweep fans out
+// over workers (byte-identical for every count), and the winning k-means
+// run is the sweep's own — the chosen k is never re-run.
+func clusteringReport(r *Report, groups []entropy.Group, a, workers int) (cluster.Result, []entropy.Group) {
 	vectors := entropy.Vectors(groups)
 	if len(vectors) == 0 {
 		r.addf("no groups above the size threshold")
@@ -21,8 +25,7 @@ func clusteringReport(r *Report, groups []entropy.Group, a int) (cluster.Result,
 	if kmax > len(vectors) {
 		kmax = len(vectors)
 	}
-	k, curve := cluster.ChooseK(vectors, kmax, 0x16c18)
-	res := cluster.KMeans(vectors, k, 0x16c18)
+	res, curve := cluster.ChooseK(vectors, kmax, 0x16c18, workers)
 	sums := cluster.Summarize(vectors, res)
 
 	r.addf("groups (networks with >= threshold addresses): %d", len(groups))
@@ -34,26 +37,27 @@ func clusteringReport(r *Report, groups []entropy.Group, a int) (cluster.Result,
 		line += fmt.Sprintf(" k%d=%.2f", i+1, s)
 	}
 	r.Lines = append(r.Lines, line)
-	r.addf("elbow k = %d", k)
+	r.addf("elbow k = %d", res.K)
+	r.addf("median entropy columns = nybbles %d..%d", a, a+len(vectors[0])-1)
 	for _, s := range sums {
 		row := fmt.Sprintf("cluster %d: %5.1f%% of networks | median entropy per nybble:", s.ID, s.Share*100)
-		for j, h := range s.MedianEntropy {
-			_ = j
+		for _, h := range s.MedianEntropy {
 			row += fmt.Sprintf(" %.1f", h)
 		}
 		r.Lines = append(r.Lines, row)
 	}
-	_ = a
 	return res, groups
 }
 
 // Fig2a reproduces entropy clustering of /32 prefixes over full-address
-// fingerprints F9-32 (the paper finds 6 clusters).
+// fingerprints F9-32 (the paper finds 6 clusters). Grouping consumes the
+// hitlist's cached sorted view: /32 groups are contiguous runs located by
+// a boundary scan, never map-bucketed from a materialized slice.
 func (l *Lab) Fig2a() *Report {
 	l.ensureCollected()
 	r := &Report{ID: "Fig 2a", Title: "Entropy clustering of /32s, full-address fingerprints F9-32"}
-	groups := entropy.ByPrefixLen(l.P.Hitlist().Sorted(), 32, l.groupMin(), 9, 32)
-	clusteringReport(r, groups, 9)
+	groups := entropy.ByPrefixLen(l.P.Hitlist().SortedSeq(), 32, l.groupMin(), 9, 32, l.P.Cfg.Workers)
+	clusteringReport(r, groups, 9, l.P.Cfg.Workers)
 	return r
 }
 
@@ -62,13 +66,15 @@ func (l *Lab) Fig2a() *Report {
 func (l *Lab) Fig2b() *Report {
 	l.ensureCollected()
 	r := &Report{ID: "Fig 2b", Title: "Entropy clustering of /32s, IID fingerprints F17-32"}
-	groups := entropy.ByPrefixLen(l.P.Hitlist().Sorted(), 32, l.groupMin(), 17, 32)
-	clusteringReport(r, groups, 17)
+	groups := entropy.ByPrefixLen(l.P.Hitlist().SortedSeq(), 32, l.groupMin(), 17, 32, l.P.Cfg.Workers)
+	clusteringReport(r, groups, 17, l.P.Cfg.Workers)
 	return r
 }
 
 // Fig3a clusters the /32s of UDP/53 responders — the population whose
 // low-entropy fingerprints make probabilistic DNS scanning easy (§4.1).
+// The responder list inherits the clean scan's target order, which is the
+// curated hitlist's sorted order, so the run-boundary grouping applies.
 func (l *Lab) Fig3a() *Report {
 	l.ensureScanClean()
 	r := &Report{ID: "Fig 3a", Title: "Entropy clustering of /32s with UDP/53 responders, F9-32"}
@@ -77,9 +83,9 @@ func (l *Lab) Fig3a() *Report {
 	if min < 10 {
 		min = 10
 	}
-	groups := entropy.ByPrefixLen(dns, 32, min, 9, 32)
+	groups := entropy.ByPrefixLen(ip6.Addrs(dns), 32, min, 9, 32, l.P.Cfg.Workers)
 	r.addf("UDP/53 responsive addresses: %d", len(dns))
-	clusteringReport(r, groups, 9)
+	clusteringReport(r, groups, 9, l.P.Cfg.Workers)
 	return r
 }
 
@@ -89,31 +95,34 @@ func (l *Lab) Fig3a() *Report {
 func (l *Lab) Fig3b() *Report {
 	l.ensureCollected()
 	r := &Report{ID: "Fig 3b", Title: "BGP prefixes colored by F9-32 cluster (unsized zesplot)"}
-	groups := entropy.ByBGPPrefix(l.P.Hitlist().Sorted(), l.P.World.Table, l.groupMin(), 9, 32)
-	res, groups := clusteringReport(r, groups, 9)
+	groups := entropy.ByBGPPrefix(l.P.Hitlist().SortedSeq(), l.P.World.Table, l.groupMin(), 9, 32, l.P.Cfg.Workers)
+	res, groups := clusteringReport(r, groups, 9, l.P.Cfg.Workers)
 	if res.K == 0 {
 		return r
 	}
 	// Homogeneity: share of multi-prefix ASes whose prefixes all landed
-	// in one cluster.
+	// in one cluster (single-prefix ASes are trivially uniform and would
+	// pad the share, so they are excluded).
 	perAS := map[uint32]map[int]bool{}
+	prefixes := map[uint32]int{}
 	for i, g := range groups {
 		asn := uint32(g.ASN)
 		if perAS[asn] == nil {
 			perAS[asn] = map[int]bool{}
 		}
 		perAS[asn][res.Assign[i]] = true
+		prefixes[asn]++
 	}
 	multi, uniform := 0, 0
-	for _, cs := range perAS {
-		if len(cs) >= 1 {
+	for asn, cs := range perAS {
+		if prefixes[asn] >= 2 {
 			multi++
 			if len(cs) == 1 {
 				uniform++
 			}
 		}
 	}
-	r.addf("ASes with clustered prefixes: %d; single-scheme ASes: %d (%.0f%%)",
+	r.addf("multi-prefix ASes with clustered prefixes: %d; single-scheme: %d (%.0f%%)",
 		multi, uniform, 100*float64(uniform)/float64(maxInt(multi, 1)))
 	items := make([]zesplot.Item, len(groups))
 	for i, g := range groups {

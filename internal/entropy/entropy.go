@@ -4,10 +4,22 @@
 // fingerprint vector F_ab that characterizes the network's addressing
 // scheme. Clustering these fingerprints (internal/cluster) reveals that
 // the entire hitlist uses just a handful of schemes.
+//
+// The grouping stage consumes the data plane's cached globally-sorted
+// view (ip6.AddrSeq) instead of a materialized []Addr: in a sorted view
+// every fixed-length-prefix group is a contiguous run, so ByPrefixLen is
+// a boundary scan over zero-copy views rather than a map-bucketing pass.
+// BGP/AS grouping batches table lookups over worker chunks, and per-group
+// fingerprint counting fans out over worker shards; every result is
+// byte-identical for every worker count (nybble counts are integers, and
+// chunk merges always happen in input order).
 package entropy
 
 import (
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"expanse/internal/bgp"
 	"expanse/internal/ip6"
@@ -18,11 +30,24 @@ import (
 // are skipped (equation (1): n >= 100).
 const MinGroupSize = 100
 
+// parallelMin is the sequence length below which fingerprint counting is
+// not worth fanning out: a 16-bucket histogram over a few thousand
+// addresses is cheaper than the goroutine round trip.
+const parallelMin = 1 << 12
+
 // Fingerprint computes F_ab for a set of addresses: the normalized
 // entropy of nybbles a..b, 1-based inclusive as in the paper (a=9, b=32
 // is the full-address fingerprint F932 after the /32 network part; a=17,
 // b=32 is the IID fingerprint F1732).
 func Fingerprint(addrs []ip6.Addr, a, b int) []float64 {
+	return FingerprintSeq(ip6.Addrs(addrs), a, b, 1)
+}
+
+// FingerprintSeq computes F_ab over an indexed address view, fanning the
+// nybble counting out over up to workers chunks. Counts are integers and
+// the chunk partials are summed position-wise, so the result is identical
+// for every worker count.
+func FingerprintSeq(addrs ip6.AddrSeq, a, b, workers int) []float64 {
 	if a < 1 {
 		a = 1
 	}
@@ -32,17 +57,80 @@ func Fingerprint(addrs []ip6.Addr, a, b int) []float64 {
 	if b < a {
 		return nil
 	}
-	counts := make([][16]int, b-a+1)
-	for _, addr := range addrs {
-		for j := a; j <= b; j++ {
-			counts[j-a][addr.Nybble(j-1)]++
-		}
-	}
+	counts := countNybbles(addrs, a, b, workers)
 	fp := make([]float64, b-a+1)
 	for i := range counts {
 		fp[i] = stats.Entropy4(&counts[i])
 	}
 	return fp
+}
+
+// countNybbles tallies the per-position nybble histograms of addrs over
+// positions a..b (1-based). With workers > 1 and a long enough sequence
+// the tally is chunk-parallel; partial histograms are added together, so
+// the merged counts never depend on the chunking.
+func countNybbles(addrs ip6.AddrSeq, a, b, workers int) [][16]int {
+	n := addrs.Len()
+	counts := make([][16]int, b-a+1)
+	if workers <= 1 || n < parallelMin {
+		tally(addrs, a, b, 0, n, counts)
+		return counts
+	}
+	w := chunkCount(n, workers, parallelMin)
+	partials := make([][][16]int, w)
+	forChunks(n, w, func(c, lo, hi int) {
+		part := make([][16]int, b-a+1)
+		tally(addrs, a, b, lo, hi, part)
+		partials[c] = part
+	})
+	for _, part := range partials {
+		for i := range counts {
+			for v := 0; v < 16; v++ {
+				counts[i][v] += part[i][v]
+			}
+		}
+	}
+	return counts
+}
+
+// chunkCount clamps a worker count so each contiguous chunk of [0, n)
+// gets at least minPer elements (always at least one chunk).
+func chunkCount(n, w, minPer int) int {
+	if w <= 0 {
+		w = 1
+	}
+	if w > n/minPer+1 {
+		w = n/minPer + 1
+	}
+	return w
+}
+
+// forChunks splits [0, n) into nChunks contiguous chunks and runs
+// fn(chunkIndex, lo, hi) on every chunk concurrently.
+func forChunks(n, nChunks int, fn func(c, lo, hi int)) {
+	chunk := (n + nChunks - 1) / nChunks
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			fn(c, lo, hi)
+		}(c)
+	}
+	wg.Wait()
+}
+
+func tally(addrs ip6.AddrSeq, a, b, lo, hi int, counts [][16]int) {
+	for i := lo; i < hi; i++ {
+		addr := addrs.At(i)
+		for j := a; j <= b; j++ {
+			counts[j-a][addr.Nybble(j-1)]++
+		}
+	}
 }
 
 // Group is a network (a /32, a BGP prefix, or an AS) with its sampled
@@ -65,83 +153,237 @@ type Group struct {
 // IPv6 networks") and fingerprints every group with at least min
 // addresses over nybbles a..b. Groups are returned sorted by size
 // descending, then by prefix.
-func ByPrefixLen(addrs []ip6.Addr, bits, min, a, b int) []Group {
+//
+// sorted MUST be in ascending address order — pass the store's cached
+// sorted view (ShardSet.SortedSeq). Fixed-length-prefix groups are then
+// contiguous runs, located by a galloping boundary scan; nothing is
+// materialized or map-bucketed. Fingerprints fan out over workers.
+func ByPrefixLen(sorted ip6.AddrSeq, bits, min, a, b, workers int) []Group {
 	if min <= 0 {
 		min = MinGroupSize
 	}
-	buckets := make(map[ip6.Prefix][]ip6.Addr)
-	for _, addr := range addrs {
-		p := ip6.PrefixFrom(addr, bits)
-		buckets[p] = append(buckets[p], addr)
+	type run struct {
+		p      ip6.Prefix
+		lo, hi int
 	}
-	return finish(buckets, nil, min, a, b)
+	var runs []run
+	ip6.PrefixRuns(sorted, bits, func(p ip6.Prefix, lo, hi int) bool {
+		if hi-lo >= min {
+			runs = append(runs, run{p: p, lo: lo, hi: hi})
+		}
+		return true
+	})
+	out := make([]Group, len(runs))
+	fingerprintEach(len(runs), workers, func(i, w int) {
+		r := runs[i]
+		out[i] = Group{
+			Key:    r.p.String(),
+			Prefix: r.p,
+			Size:   r.hi - r.lo,
+			FP:     FingerprintSeq(ip6.SeqSlice(sorted, r.lo, r.hi), a, b, w),
+		}
+	})
+	sortGroups(out)
+	return out
+}
+
+// pfxBucket accumulates one BGP prefix group during the parallel
+// lookup+bucket stage.
+type pfxBucket struct {
+	asn bgp.ASN
+	idx []int32
 }
 
 // ByBGPPrefix groups addresses by their announced prefix. Unrouted
-// addresses are skipped.
-func ByBGPPrefix(addrs []ip6.Addr, table *bgp.Table, min, a, b int) []Group {
+// addresses are skipped. Lookups run batched over worker chunks (the
+// routing trie is immutable, so lookups are safe to fan out); chunk
+// buckets are merged in input order, so group membership, sizes and
+// fingerprints are identical for every worker count.
+func ByBGPPrefix(addrs ip6.AddrSeq, table *bgp.Table, min, a, b, workers int) []Group {
 	if min <= 0 {
 		min = MinGroupSize
 	}
-	buckets := make(map[ip6.Prefix][]ip6.Addr)
-	origins := make(map[ip6.Prefix]bgp.ASN)
-	for _, addr := range addrs {
-		p, asn, ok := table.Lookup(addr)
-		if !ok {
-			continue
+	chunks := lookupChunks(addrs, workers, func(addr ip6.Addr) (ip6.Prefix, bgp.ASN, bool) {
+		return table.Lookup(addr)
+	})
+	// Merge chunk-major: chunks partition the input in order, so per-prefix
+	// index lists follow input order and the first-seen key order is the
+	// global first-occurrence order, independent of the worker count.
+	buckets := make(map[ip6.Prefix]*pfxBucket)
+	order := make([]ip6.Prefix, 0, 64)
+	for _, ch := range chunks {
+		for _, p := range ch.order {
+			e := ch.m[p]
+			g, ok := buckets[p]
+			if !ok {
+				g = &pfxBucket{asn: e.asn}
+				buckets[p] = g
+				order = append(order, p)
+			}
+			g.idx = append(g.idx, e.idx...)
 		}
-		buckets[p] = append(buckets[p], addr)
-		origins[p] = asn
 	}
-	return finish(buckets, origins, min, a, b)
+	var kept []ip6.Prefix
+	for _, p := range order {
+		if len(buckets[p].idx) >= min {
+			kept = append(kept, p)
+		}
+	}
+	out := make([]Group, len(kept))
+	fingerprintEach(len(kept), workers, func(i, w int) {
+		p := kept[i]
+		g := buckets[p]
+		out[i] = Group{
+			Key:    p.String(),
+			Prefix: p,
+			ASN:    g.asn,
+			Size:   len(g.idx),
+			FP:     FingerprintSeq(idxSeq{seq: addrs, idx: g.idx}, a, b, w),
+		}
+	})
+	sortGroups(out)
+	return out
 }
 
 // ByAS groups addresses by origin AS. Unrouted addresses are skipped.
-func ByAS(addrs []ip6.Addr, table *bgp.Table, min, a, b int) []Group {
+// Like ByBGPPrefix, origin lookups are batched over worker chunks with an
+// input-order merge.
+func ByAS(addrs ip6.AddrSeq, table *bgp.Table, min, a, b, workers int) []Group {
 	if min <= 0 {
 		min = MinGroupSize
 	}
-	buckets := make(map[bgp.ASN][]ip6.Addr)
-	for _, addr := range addrs {
-		if asn, ok := table.Origin(addr); ok {
-			buckets[asn] = append(buckets[asn], addr)
+	chunks := lookupChunks(addrs, workers, func(addr ip6.Addr) (bgp.ASN, bgp.ASN, bool) {
+		asn, ok := table.Origin(addr)
+		return asn, asn, ok
+	})
+	byAS := make(map[bgp.ASN][]int32)
+	var order []bgp.ASN
+	for _, ch := range chunks {
+		for _, asn := range ch.order {
+			if _, ok := byAS[asn]; !ok {
+				order = append(order, asn)
+			}
+			byAS[asn] = append(byAS[asn], ch.m[asn].idx...)
 		}
 	}
-	var out []Group
-	for asn, list := range buckets {
-		if len(list) < min {
-			continue
+	var kept []bgp.ASN
+	for _, asn := range order {
+		if len(byAS[asn]) >= min {
+			kept = append(kept, asn)
 		}
-		out = append(out, Group{
+	}
+	out := make([]Group, len(kept))
+	fingerprintEach(len(kept), workers, func(i, w int) {
+		asn := kept[i]
+		idx := byAS[asn]
+		out[i] = Group{
 			Key:  "AS" + itoa(uint64(asn)),
 			ASN:  asn,
-			Size: len(list),
-			FP:   Fingerprint(list, a, b),
-		})
-	}
+			Size: len(idx),
+			FP:   FingerprintSeq(idxSeq{seq: addrs, idx: idx}, a, b, w),
+		}
+	})
 	sortGroups(out)
 	return out
 }
 
-func finish(buckets map[ip6.Prefix][]ip6.Addr, origins map[ip6.Prefix]bgp.ASN, min, a, b int) []Group {
-	var out []Group
-	for p, list := range buckets {
-		if len(list) < min {
-			continue
-		}
-		g := Group{
-			Key:    p.String(),
-			Prefix: p,
-			Size:   len(list),
-			FP:     Fingerprint(list, a, b),
-		}
-		if origins != nil {
-			g.ASN = origins[p]
-		}
-		out = append(out, g)
+// lookupChunk is one worker's bucketed lookup results: per-key entries
+// plus first-seen key order, so the merge can stay deterministic.
+type lookupChunk[K comparable] struct {
+	m     map[K]*chunkEntry
+	order []K
+}
+
+type chunkEntry struct {
+	asn bgp.ASN
+	idx []int32
+}
+
+// lookupChunks splits addrs into up to workers contiguous chunks and runs
+// the lookup over each concurrently, bucketing hit indices by key (the
+// announced prefix or the origin ASN). The routing trie is immutable
+// after construction, so concurrent lookups are safe. Bucketed indices
+// are int32 — the same compactness trade the data plane's batch insert
+// makes — so a view beyond 2^31 addresses (a >32 GB materialized slice)
+// fails loudly instead of silently truncating.
+func lookupChunks[K comparable](addrs ip6.AddrSeq, workers int, lookup func(ip6.Addr) (K, bgp.ASN, bool)) []lookupChunk[K] {
+	n := addrs.Len()
+	if n > math.MaxInt32 {
+		panic("entropy: address view exceeds int32 index space")
 	}
-	sortGroups(out)
-	return out
+	w := chunkCount(n, workers, 256)
+	chunks := make([]lookupChunk[K], w)
+	forChunks(n, w, func(c, lo, hi int) {
+		ch := lookupChunk[K]{m: make(map[K]*chunkEntry)}
+		for i := lo; i < hi; i++ {
+			key, asn, ok := lookup(addrs.At(i))
+			if !ok {
+				continue
+			}
+			e, ok := ch.m[key]
+			if !ok {
+				e = &chunkEntry{asn: asn}
+				ch.m[key] = e
+				ch.order = append(ch.order, key)
+			}
+			e.idx = append(e.idx, int32(i))
+		}
+		chunks[c] = ch
+	})
+	return chunks
+}
+
+// idxSeq is a zero-copy view of a subset of a sequence selected by index.
+type idxSeq struct {
+	seq ip6.AddrSeq
+	idx []int32
+}
+
+func (s idxSeq) Len() int          { return len(s.idx) }
+func (s idxSeq) At(i int) ip6.Addr { return s.seq.At(int(s.idx[i])) }
+
+// fingerprintEach runs fn(i, innerWorkers) for every group index, with up
+// to workers goroutines pulling group indices from a shared queue (group
+// sizes are heavy-tailed, so contiguous chunks would idle the workers
+// that drew small groups). Surplus workers beyond the group count fan out
+// inside each group's counting via the inner budget. Scheduling cannot
+// leak into the output: results are written per index and fingerprint
+// counts are integers merged position-wise, identical for any inner
+// worker count.
+func fingerprintEach(n, workers int, fn func(i, innerWorkers int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 1)
+		}
+		return
+	}
+	w := workers
+	if w > n {
+		w = n
+	}
+	inner := 1
+	if workers > n {
+		inner = (workers + n - 1) / n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < w; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, inner)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func sortGroups(gs []Group) {

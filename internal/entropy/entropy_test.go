@@ -1,13 +1,25 @@
 package entropy
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
+	"testing/quick"
 
 	"expanse/internal/bgp"
 	"expanse/internal/ip6"
 )
+
+// sorted returns the addresses in ascending order as a view, the form the
+// grouping APIs consume (the data plane's cached sorted view).
+func sorted(addrs []ip6.Addr) ip6.AddrSeq {
+	cp := append([]ip6.Addr(nil), addrs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Less(cp[j]) })
+	return ip6.Addrs(cp)
+}
 
 func TestFingerprintCounterScheme(t *testing.T) {
 	// Counter addresses: only the last nybbles vary.
@@ -88,6 +100,26 @@ func TestFingerprintBoundsClamped(t *testing.T) {
 	}
 }
 
+// TestFingerprintSeqAcrossWorkers pins that the chunk-parallel nybble
+// counting is byte-identical for every worker count, above and below the
+// parallel threshold.
+func TestFingerprintSeqAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{100, parallelMin - 1, parallelMin, 3*parallelMin + 17} {
+		addrs := make([]ip6.Addr, n)
+		for i := range addrs {
+			addrs[i] = ip6.AddrFromUint64(rng.Uint64(), rng.Uint64())
+		}
+		ref := FingerprintSeq(ip6.Addrs(addrs), 1, 32, 1)
+		for _, w := range []int{4, 16} {
+			got := FingerprintSeq(ip6.Addrs(addrs), 1, 32, w)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("n=%d workers=%d: fingerprint differs from serial", n, w)
+			}
+		}
+	}
+}
+
 func TestByPrefixLen(t *testing.T) {
 	var addrs []ip6.Addr
 	// Two /32s: one with 150 counter addresses, one with 150 random, one
@@ -103,7 +135,7 @@ func TestByPrefixLen(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		addrs = append(addrs, ip6.AddrFromUint64(c32.Hi(), uint64(i)))
 	}
-	groups := ByPrefixLen(addrs, 32, 100, 9, 32)
+	groups := ByPrefixLen(sorted(addrs), 32, 100, 9, 32, 1)
 	if len(groups) != 2 {
 		t.Fatalf("groups = %d, want 2 (min filter)", len(groups))
 	}
@@ -138,6 +170,65 @@ func TestByPrefixLen(t *testing.T) {
 	}
 }
 
+// mapByPrefixLen is the pre-refactor map-bucketing implementation, kept as
+// the reference for the sorted-run grouping property test.
+func mapByPrefixLen(addrs []ip6.Addr, bits, min, a, b int) []Group {
+	buckets := make(map[ip6.Prefix][]ip6.Addr)
+	for _, addr := range addrs {
+		p := ip6.PrefixFrom(addr, bits)
+		buckets[p] = append(buckets[p], addr)
+	}
+	var out []Group
+	for p, list := range buckets {
+		if len(list) < min {
+			continue
+		}
+		out = append(out, Group{
+			Key:    p.String(),
+			Prefix: p,
+			Size:   len(list),
+			FP:     Fingerprint(list, a, b),
+		})
+	}
+	sortGroups(out)
+	return out
+}
+
+// TestByPrefixLenMatchesMapReference pins the boundary-scan grouping over
+// the sorted view against the old map-bucketing implementation on random
+// address sets: same groups, same sizes, same fingerprints, same order.
+func TestByPrefixLenMatchesMapReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3000)
+		addrs := make([]ip6.Addr, n)
+		for i := range addrs {
+			// A handful of /32s with wildly different densities.
+			hi := uint64(0x2001_0db8_0000_0000) | uint64(rng.Intn(6))<<32
+			addrs[i] = ip6.AddrFromUint64(hi, uint64(rng.Intn(1<<uint(4+rng.Intn(16)))))
+		}
+		min := 1 + rng.Intn(200)
+		want := mapByPrefixLen(addrs, 32, min, 9, 32)
+		for _, w := range []int{1, 4} {
+			got := ByPrefixLen(sorted(addrs), 32, min, 9, 32, w)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i].Key != want[i].Key || got[i].Size != want[i].Size ||
+					got[i].Prefix != want[i].Prefix ||
+					!reflect.DeepEqual(got[i].FP, want[i].FP) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestByASAndByBGPPrefix(t *testing.T) {
 	table := bgp.NewTable()
 	table.Announce(ip6.MustParsePrefix("2001:db8::/32"), 100)
@@ -148,16 +239,59 @@ func TestByASAndByBGPPrefix(t *testing.T) {
 	}
 	// Unrouted addresses must be skipped silently.
 	addrs = append(addrs, ip6.MustParseAddr("fd00::1"))
-	byAS := ByAS(addrs, table, 100, 9, 32)
+	byAS := ByAS(ip6.Addrs(addrs), table, 100, 9, 32, 1)
 	if len(byAS) != 1 || byAS[0].ASN != 100 || byAS[0].Key != "AS100" {
 		t.Errorf("ByAS = %+v", byAS)
 	}
-	byPfx := ByBGPPrefix(addrs, table, 100, 9, 32)
+	byPfx := ByBGPPrefix(ip6.Addrs(addrs), table, 100, 9, 32, 1)
 	if len(byPfx) != 1 || byPfx[0].Prefix != ip6.MustParsePrefix("2001:db8::/32") {
 		t.Errorf("ByBGPPrefix = %+v", byPfx)
 	}
 	if byPfx[0].ASN != 100 {
 		t.Errorf("origin not recorded: %d", byPfx[0].ASN)
+	}
+}
+
+// routedWorld builds a table plus a routed address population with skewed
+// per-prefix densities for the determinism tests.
+func routedWorld(seed int64, nAddrs int) (*bgp.Table, []ip6.Addr) {
+	rng := rand.New(rand.NewSource(seed))
+	table := bgp.NewTable()
+	var prefixes []ip6.Prefix
+	for i := 0; i < 12; i++ {
+		p := ip6.MustParsePrefix(fmt.Sprintf("2001:%x::/32", 0xd00+i))
+		table.Announce(p, bgp.ASN(100+i%5)) // several prefixes share an AS
+		prefixes = append(prefixes, p)
+	}
+	addrs := make([]ip6.Addr, nAddrs)
+	for i := range addrs {
+		p := prefixes[rng.Intn(len(prefixes))]
+		addrs[i] = ip6.AddrFromUint64(p.Addr().Hi(), rng.Uint64()>>uint(rng.Intn(48)))
+	}
+	return table, addrs
+}
+
+// TestGroupingAcrossWorkers pins group order, membership and fingerprints
+// of all three groupings across worker counts 1/4/16.
+func TestGroupingAcrossWorkers(t *testing.T) {
+	table, addrs := routedWorld(21, 20000)
+	seq := sorted(addrs)
+	type mk func(w int) []Group
+	for name, make := range map[string]mk{
+		"ByPrefixLen": func(w int) []Group { return ByPrefixLen(seq, 32, 50, 9, 32, w) },
+		"ByBGPPrefix": func(w int) []Group { return ByBGPPrefix(seq, table, 50, 9, 32, w) },
+		"ByAS":        func(w int) []Group { return ByAS(seq, table, 50, 9, 32, w) },
+	} {
+		ref := make(1)
+		if len(ref) == 0 {
+			t.Fatalf("%s: no groups formed", name)
+		}
+		for _, w := range []int{4, 16} {
+			got := make(w)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: workers=%d differs from workers=1", name, w)
+			}
+		}
 	}
 }
 
@@ -169,7 +303,7 @@ func TestGroupOrdering(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		addrs = append(addrs, ip6.AddrFromUint64(ip6.MustParseAddr("2001:dead::").Hi(), uint64(i)))
 	}
-	gs := ByPrefixLen(addrs, 32, 100, 9, 32)
+	gs := ByPrefixLen(sorted(addrs), 32, 100, 9, 32, 1)
 	if len(gs) != 2 || gs[0].Size < gs[1].Size {
 		t.Error("groups not sorted by size descending")
 	}
@@ -193,5 +327,53 @@ func TestFingerprintEntropyInRange(t *testing.T) {
 		if h < 0 || h > 1 || math.IsNaN(h) {
 			t.Fatalf("entropy out of range: %v", h)
 		}
+	}
+}
+
+// benchAddrs builds a sorted synthetic hitlist: 64 /32s with a heavy-tail
+// density split, the shape ByPrefixLen sees from the data plane.
+func benchAddrs(n int) ip6.AddrSeq {
+	rng := rand.New(rand.NewSource(99))
+	addrs := make([]ip6.Addr, n)
+	for i := range addrs {
+		hi := uint64(0x2001_0db8_0000_0000) | uint64(rng.Intn(64))<<32
+		addrs[i] = ip6.AddrFromUint64(hi, rng.Uint64())
+	}
+	return sorted(addrs)
+}
+
+func BenchmarkByPrefixLen(b *testing.B) {
+	seq := benchAddrs(1 << 18)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ByPrefixLen(seq, 32, 100, 9, 32, w)
+			}
+		})
+	}
+}
+
+// BenchmarkLegacyByPrefixLen measures the old map-bucketing path on the
+// same (materialized) input for comparison.
+func BenchmarkLegacyByPrefixLen(b *testing.B) {
+	seq := benchAddrs(1 << 18)
+	addrs := make([]ip6.Addr, seq.Len())
+	for i := range addrs {
+		addrs[i] = seq.At(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapByPrefixLen(addrs, 32, 100, 9, 32)
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	seq := benchAddrs(1 << 18)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FingerprintSeq(seq, 9, 32, w)
+			}
+		})
 	}
 }

@@ -21,6 +21,88 @@ func (s Addrs) Len() int { return len(s) }
 // At returns the i-th address.
 func (s Addrs) At(i int) Addr { return s[i] }
 
+// SeqSlice returns a zero-copy view of seq[lo:hi). It panics if the range
+// is out of bounds. Slicing an Addrs or another SeqSlice view collapses to
+// a direct window over the backing sequence, so nested views never stack
+// indirection.
+func SeqSlice(seq AddrSeq, lo, hi int) AddrSeq {
+	if lo < 0 || hi < lo || hi > seq.Len() {
+		panic("ip6: SeqSlice range out of bounds")
+	}
+	switch s := seq.(type) {
+	case Addrs:
+		return s[lo:hi]
+	case subSeq:
+		return subSeq{seq: s.seq, off: s.off + lo, n: hi - lo}
+	}
+	return subSeq{seq: seq, off: lo, n: hi - lo}
+}
+
+type subSeq struct {
+	seq AddrSeq
+	off int
+	n   int
+}
+
+func (s subSeq) Len() int      { return s.n }
+func (s subSeq) At(i int) Addr { return s.seq.At(s.off + i) }
+
+// PrefixRuns iterates the maximal runs of consecutive addresses in sorted
+// that share the same length-bits prefix, calling fn with the prefix and
+// the half-open index range [lo, hi) of the run; iteration stops early if
+// fn returns false. The sequence MUST be in ascending address order (the
+// ShardSet's cached sorted view qualifies): then every fixed-length-prefix
+// group is exactly one contiguous run, so grouping is a boundary scan over
+// zero-copy views instead of a map-bucketing pass over a materialized
+// slice. Run ends are located by galloping search, so a scan over g groups
+// costs O(g·log(n/g)) comparisons, not O(n).
+func PrefixRuns(sorted AddrSeq, bits int, fn func(p Prefix, lo, hi int) bool) {
+	n := sorted.Len()
+	for lo := 0; lo < n; {
+		p := PrefixFrom(sorted.At(lo), bits)
+		hi := runEnd(sorted, p, lo, n)
+		if !fn(p, lo, hi) {
+			return
+		}
+		lo = hi
+	}
+}
+
+// runEnd returns the smallest index in (lo, n] at which the run of
+// addresses covered by p ends: galloping doubles the step until it
+// overshoots, then binary-searches the bracketed range.
+func runEnd(sorted AddrSeq, p Prefix, lo, n int) int {
+	// Invariant: sorted.At(a) is inside p; everything at or beyond b is not.
+	a, step := lo, 1
+	for {
+		next := a + step
+		if next >= n {
+			if !p.Contains(sorted.At(n - 1)) {
+				break
+			}
+			return n
+		}
+		if !p.Contains(sorted.At(next)) {
+			break
+		}
+		a = next
+		step <<= 1
+	}
+	b := a + step
+	if b > n {
+		b = n
+	}
+	for a+1 < b {
+		m := int(uint(a+b) >> 1)
+		if p.Contains(sorted.At(m)) {
+			a = m
+		} else {
+			b = m
+		}
+	}
+	return a + 1
+}
+
 // ShardCols is a point-in-time columnar view of one ShardSet shard: the
 // parallel (Hi, Lo) arrays in insertion order. The view captures the
 // slice headers, so concurrent appends to the shard never move the
