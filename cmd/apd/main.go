@@ -57,7 +57,7 @@ func main() {
 	}
 	fmt.Println()
 
-	clean, al := p.Filter().Split(p.Hitlist().Sorted())
+	clean, al, _ := p.Filter().SplitSorted(p.Hitlist().SortedSeq(), p.Cfg.Workers)
 	fmt.Printf("hitlist split: %d clean, %d aliased (%.1f%%)\n",
 		len(clean), len(al), 100*float64(len(al))/float64(p.Hitlist().Len()))
 

@@ -5,6 +5,16 @@
 // response merging and a multi-day sliding window for loss resilience
 // (§5.2), and a longest-prefix-match filter applied to the hitlist (§5.1).
 //
+// The package is organized around the columnar alias plane:
+// candidates.go derives the candidate set from the hitlist's cached
+// sorted view by run-boundary scanning and freezes it into a
+// CandidateTable with stable prefix IDs; history.go keeps the sliding-
+// window observations as per-day mask columns indexed by those IDs;
+// filter.go compiles the per-prefix verdicts into a sorted interval
+// table merged linearly against sorted address streams. This file holds
+// the probing machinery (fan-out, branch masks, the Detector) and the
+// §5.1 nested-pair taxonomy.
+//
 // The static-/96 detection of Murdock et al., which the paper compares
 // against in §5.5, is implemented in murdock.go.
 package apd
@@ -12,11 +22,8 @@ package apd
 import (
 	"math/bits"
 	"math/rand"
-	"runtime"
-	"sort"
 	"sync"
 
-	"expanse/internal/bgp"
 	"expanse/internal/ip6"
 	"expanse/internal/probe"
 	"expanse/internal/wire"
@@ -31,126 +38,6 @@ const DefaultMinTargets = 100
 
 // DefaultProtocols are the probe protocols of §5.1 (32 probes/prefix).
 var DefaultProtocols = []wire.Proto{wire.ICMPv6, wire.TCP80}
-
-// Candidate is one prefix scheduled for alias detection.
-type Candidate struct {
-	Prefix ip6.Prefix
-	// Targets is the number of hitlist addresses inside the prefix
-	// (0 for BGP-derived candidates).
-	Targets int
-}
-
-// HitlistCandidates maps hitlist addresses to all prefixes from /64 to
-// /124 in 4-bit steps and returns those with more than minTargets
-// addresses — except /64s, which are all kept ("so as to allow full
-// analysis of all known /64 prefixes"). Candidates are refined level by
-// level, so only populated branches are expanded. The /64 level buckets
-// the ShardSet's columnar shards directly — one goroutine per shard view,
-// no flatten-copy or re-sharding of the hitlist.
-func HitlistCandidates(set *ip6.ShardSet, minTargets int) []Candidate {
-	views := set.ShardSeqs()
-	shards := make([]ip6.AddrSeq, len(views))
-	for i, v := range views {
-		shards[i] = v
-	}
-	return candidatesFromShards(shards, minTargets)
-}
-
-// HitlistCandidatesAddrs is HitlistCandidates over a plain address slice
-// (Murdock comparisons, ad-hoc target lists); the slice is cut into
-// per-CPU chunks for the /64 level.
-func HitlistCandidatesAddrs(addrs []ip6.Addr, minTargets int) []Candidate {
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (len(addrs) + workers - 1) / workers
-	var shards []ip6.AddrSeq
-	if chunk > 0 {
-		for lo := 0; lo < len(addrs); lo += chunk {
-			hi := lo + chunk
-			if hi > len(addrs) {
-				hi = len(addrs)
-			}
-			shards = append(shards, ip6.Addrs(addrs[lo:hi]))
-		}
-	}
-	return candidatesFromShards(shards, minTargets)
-}
-
-func candidatesFromShards(shards []ip6.AddrSeq, minTargets int) []Candidate {
-	if minTargets <= 0 {
-		minTargets = DefaultMinTargets
-	}
-	// Level /64: bucket everything, sharded over the hitlist.
-	level := bucketShards(shards, 64)
-	var out []Candidate
-	for p, list := range level {
-		out = append(out, Candidate{Prefix: p, Targets: len(list)})
-	}
-	// Deeper levels: only prefixes that can still exceed the threshold.
-	for depth := 68; depth <= 124; depth += 4 {
-		var work []ip6.AddrSeq
-		for _, list := range level {
-			if len(list) > minTargets {
-				work = append(work, ip6.Addrs(list))
-			}
-		}
-		next := bucketShards(work, depth)
-		for p, list := range next {
-			if len(list) > minTargets {
-				out = append(out, Candidate{Prefix: p, Targets: len(list)})
-			}
-		}
-		level = next
-	}
-	sort.Slice(out, func(i, j int) bool {
-		return ip6.ComparePrefix(out[i].Prefix, out[j].Prefix) < 0
-	})
-	return out
-}
-
-// bucketShards buckets every address of every input shard by its
-// enclosing prefix of the given length. Each shard is bucketed into a
-// private map on its own goroutine; the shard maps are then merged in
-// shard order, so the per-prefix counts and address lists are identical
-// to a serial single-map pass.
-func bucketShards(shards []ip6.AddrSeq, depth int) map[ip6.Prefix][]ip6.Addr {
-	if len(shards) == 0 {
-		return map[ip6.Prefix][]ip6.Addr{}
-	}
-	local := make([]map[ip6.Prefix][]ip6.Addr, len(shards))
-	var wg sync.WaitGroup
-	for si, shard := range shards {
-		wg.Add(1)
-		go func(si int, shard ip6.AddrSeq) {
-			defer wg.Done()
-			m := make(map[ip6.Prefix][]ip6.Addr)
-			for i := 0; i < shard.Len(); i++ {
-				a := shard.At(i)
-				p := ip6.PrefixFrom(a, depth)
-				m[p] = append(m[p], a)
-			}
-			local[si] = m
-		}(si, shard)
-	}
-	wg.Wait()
-	merged := local[0]
-	for _, m := range local[1:] {
-		for p, list := range m {
-			merged[p] = append(merged[p], list...)
-		}
-	}
-	return merged
-}
-
-// BGPCandidates returns every announced prefix as a candidate, probed
-// as-is ("without enumerating additional prefixes").
-func BGPCandidates(table *bgp.Table) []Candidate {
-	anns := table.Announcements()
-	out := make([]Candidate, len(anns))
-	for i, a := range anns {
-		out[i] = Candidate{Prefix: a.Prefix}
-	}
-	return out
-}
 
 // FanOut generates the 16 probe targets of a prefix: one pseudo-random
 // address inside each of its 16 next-level subprefixes (Table 3). The
@@ -245,16 +132,18 @@ func NewDetectorWorkers(r wire.Responder, workers int, protocols ...wire.Proto) 
 // Workers returns the configured per-protocol worker-shard count.
 func (d *Detector) Workers() int { return d.workers }
 
-// ProbeDay probes every candidate's fan-out targets on all protocols for
-// one day and returns the per-prefix branch masks with cross-protocol
-// merging already applied ("we treat an address as responsive even if it
-// replies to only the ICMPv6 or the TCP/80 probe").
+// ProbeDayFlat probes every candidate's fan-out targets on all protocols
+// for one day and returns the per-candidate branch masks in input order,
+// with cross-protocol merging already applied ("we treat an address as
+// responsive even if it replies to only the ICMPv6 or the TCP/80 probe").
+// The flat slice is the columnar form the candidate table and day history
+// consume directly; entries sharing a prefix get independent masks here
+// and OR-merge at the history layer.
 //
 // All protocols are scanned concurrently (each scan fans out over worker
-// shards), and the branch masks are merged by candidate shards into a
-// flat per-candidate slice before the single map assembly — results are
-// identical to the serial protocol-by-protocol merge.
-func (d *Detector) ProbeDay(cands []Candidate, day int) map[ip6.Prefix]BranchMask {
+// shards), and the branch masks are merged by candidate shards — results
+// are identical to the serial protocol-by-protocol merge.
+func (d *Detector) ProbeDayFlat(cands []Candidate, day int) []BranchMask {
 	// Flatten: 16 targets per candidate, probe once per protocol.
 	if d.fanCache == nil {
 		d.fanCache = make(map[ip6.Prefix][Branches]ip6.Addr, len(cands))
@@ -282,7 +171,7 @@ func (d *Detector) ProbeDay(cands []Candidate, day int) map[ip6.Prefix]BranchMas
 	d.ProbesSent += len(d.protocols) * len(targets)
 
 	// Sharded merge: each worker folds all protocols' responses for its
-	// candidate range into the flat mask slice; the map is built once.
+	// candidate range into the flat mask slice.
 	flat := make([]BranchMask, len(cands))
 	chunk := (len(cands) + d.workers - 1) / d.workers
 	if chunk > 0 {
@@ -309,152 +198,18 @@ func (d *Detector) ProbeDay(cands []Candidate, day int) map[ip6.Prefix]BranchMas
 		}
 		wg.Wait()
 	}
+	return flat
+}
+
+// ProbeDay is ProbeDayFlat with the masks assembled into a per-prefix
+// map, duplicate candidate prefixes OR-merged.
+func (d *Detector) ProbeDay(cands []Candidate, day int) map[ip6.Prefix]BranchMask {
+	flat := d.ProbeDayFlat(cands, day)
 	masks := make(map[ip6.Prefix]BranchMask, len(cands))
 	for ci, c := range cands {
 		masks[c.Prefix] |= flat[ci]
 	}
 	return masks
-}
-
-// History accumulates daily branch masks for the sliding window.
-type History struct {
-	days []map[ip6.Prefix]BranchMask
-}
-
-// Add appends one day's observation.
-func (h *History) Add(day map[ip6.Prefix]BranchMask) {
-	h.days = append(h.days, day)
-}
-
-// Len returns the number of recorded days.
-func (h *History) Len() int { return len(h.days) }
-
-// MergedAt returns the branch mask of prefix p at day index di, OR-merged
-// over a sliding window of `window` days TOTAL ending at di (window 1 =
-// that day only; values below 1 are clamped to 1): a branch counts as
-// responsive if its address answered any protocol on any day in the
-// window (§5.2). The paper's 3-day window therefore merges exactly days
-// di-2 .. di — an earlier version merged window+1 days, silently turning
-// the §5.2 evaluation into a 4-day merge.
-func (h *History) MergedAt(p ip6.Prefix, di, window int) BranchMask {
-	if window < 1 {
-		window = 1
-	}
-	var m BranchMask
-	lo := di - window + 1
-	if lo < 0 {
-		lo = 0
-	}
-	for i := lo; i <= di && i < len(h.days); i++ {
-		m |= h.days[i][p]
-	}
-	return m
-}
-
-// AliasedAt returns the set of prefixes classified aliased at day index
-// di under the given sliding window.
-func (h *History) AliasedAt(di, window int) map[ip6.Prefix]bool {
-	out := make(map[ip6.Prefix]bool)
-	if di >= len(h.days) || di < 0 {
-		return out
-	}
-	for p := range h.days[di] {
-		if h.MergedAt(p, di, window) == AllBranches {
-			out[p] = true
-		}
-	}
-	return out
-}
-
-// Prefixes returns every prefix ever observed.
-func (h *History) Prefixes() []ip6.Prefix {
-	seen := map[ip6.Prefix]bool{}
-	for _, d := range h.days {
-		for p := range d {
-			seen[p] = true
-		}
-	}
-	out := make([]ip6.Prefix, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
-	return out
-}
-
-// UnstablePrefixes counts prefixes whose aliased classification changes
-// across the recorded days when using the given sliding window — the
-// metric of Table 4. Evaluation starts once the window is full, i.e. at
-// day index window-1 (window < 1 is clamped to 1, a single-day window).
-func (h *History) UnstablePrefixes(window int) int {
-	if window < 1 {
-		window = 1
-	}
-	start := window - 1
-	unstable := 0
-	for _, p := range h.Prefixes() {
-		var prev, cur bool
-		flips := 0
-		for di := start; di < len(h.days); di++ {
-			cur = h.MergedAt(p, di, window) == AllBranches
-			if di > start && cur != prev {
-				flips++
-			}
-			prev = cur
-		}
-		if flips > 0 {
-			unstable++
-		}
-	}
-	return unstable
-}
-
-// Filter is the longest-prefix-match alias filter of §5.1: it stores the
-// verdict of every probed prefix and decides per address using the most
-// closely covering probed prefix, so a non-aliased more-specific rescues
-// its addresses from an aliased less-specific.
-type Filter struct {
-	trie ip6.Trie[bool]
-}
-
-// NewFilter builds a filter from per-prefix verdicts.
-func NewFilter(verdicts map[ip6.Prefix]bool) *Filter {
-	f := &Filter{}
-	for p, aliased := range verdicts {
-		f.trie.Insert(p, aliased)
-	}
-	return f
-}
-
-// IsAliased reports whether addr falls under an aliased prefix per the
-// most specific probed verdict.
-func (f *Filter) IsAliased(addr ip6.Addr) bool {
-	_, aliased, ok := f.trie.Lookup(addr)
-	return ok && aliased
-}
-
-// AliasedPrefixes returns the prefixes with aliased verdicts.
-func (f *Filter) AliasedPrefixes() []ip6.Prefix {
-	var out []ip6.Prefix
-	f.trie.Walk(func(p ip6.Prefix, aliased bool) bool {
-		if aliased {
-			out = append(out, p)
-		}
-		return true
-	})
-	return out
-}
-
-// Split partitions addresses into non-aliased and aliased per the filter.
-func (f *Filter) Split(addrs []ip6.Addr) (clean, aliased []ip6.Addr) {
-	for _, a := range addrs {
-		if f.IsAliased(a) {
-			aliased = append(aliased, a)
-		} else {
-			clean = append(clean, a)
-		}
-	}
-	return clean, aliased
 }
 
 // NestedCase classifies a (more specific, less specific) candidate pair
@@ -469,8 +224,10 @@ const (
 	CaseMoreNotLessAliased // the anomaly case
 )
 
-// CaseCounts tallies the §5.1 taxonomy over all nested candidate pairs
-// (comparing each prefix against its closest probed ancestor).
+// CaseCounts tallies the §5.1 taxonomy over all nested candidate pairs,
+// comparing each prefix against its closest probed ancestor — a single
+// depth-capped LPM walk per prefix (Trie.LookupMax below the prefix's own
+// length), not one exact-match probe per bit length.
 func CaseCounts(verdicts map[ip6.Prefix]bool) map[NestedCase]int {
 	var t ip6.Trie[bool]
 	for p, v := range verdicts {
@@ -481,17 +238,8 @@ func CaseCounts(verdicts map[ip6.Prefix]bool) map[NestedCase]int {
 		if p.Bits() == 0 {
 			continue
 		}
-		// Closest probed ancestor: LPM on the address with a shorter
-		// maximum depth — walk the trie to bits-1 by looking up the
-		// parent prefix levels.
-		found := false
-		var less bool
-		for bits := p.Bits() - 1; bits >= 0 && !found; bits-- {
-			if v, ok := t.Get(ip6.PrefixFrom(p.Addr(), bits)); ok {
-				less, found = v, true
-			}
-		}
-		if !found {
+		_, less, ok := t.LookupMax(p.Addr(), p.Bits()-1)
+		if !ok {
 			continue
 		}
 		switch {

@@ -1,0 +1,146 @@
+package apd
+
+import (
+	"sort"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+)
+
+// Candidate is one prefix scheduled for alias detection.
+type Candidate struct {
+	Prefix ip6.Prefix
+	// Targets is the number of hitlist addresses inside the prefix
+	// (0 for BGP-derived candidates).
+	Targets int
+}
+
+// HitlistCandidates maps hitlist addresses to all prefixes from /64 to
+// /124 in 4-bit steps and returns those with more than minTargets
+// addresses — except /64s, which are all kept ("so as to allow full
+// analysis of all known /64 prefixes"). It consumes the ShardSet's cached
+// sorted view: candidates are derived by CandidatesFromSorted's
+// run-boundary scan, so no per-level prefix maps or address copies are
+// ever materialized.
+func HitlistCandidates(set *ip6.ShardSet, minTargets int) []Candidate {
+	return CandidatesFromSorted(set.SortedSeq(), minTargets)
+}
+
+// HitlistCandidatesAddrs is HitlistCandidates over a plain address slice
+// (Murdock comparisons, ad-hoc target lists); the slice is copied, sorted
+// and fed through the same run-boundary scan. Duplicate addresses count
+// once per occurrence, as in the original bucketing path.
+func HitlistCandidatesAddrs(addrs []ip6.Addr, minTargets int) []Candidate {
+	sorted := make([]ip6.Addr, len(addrs))
+	copy(sorted, addrs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	return CandidatesFromSorted(ip6.Addrs(sorted), minTargets)
+}
+
+// CandidatesFromSorted derives the multi-level candidate set from an
+// ascending address sequence. In sorted order every fixed-length prefix
+// group is one contiguous run, so each depth level is a run-boundary scan
+// (ip6.PrefixRuns, galloping run ends) refining only above-threshold runs
+// through zero-copy ip6.SeqSlice views — the map-bucketing the old
+// implementation paid per level survives only as a property-test
+// reference. Per-depth runs arrive in ascending address order and depths
+// are emitted shallow-to-deep, so the result is already in ComparePrefix
+// order (length, then address) without a sort.
+func CandidatesFromSorted(sorted ip6.AddrSeq, minTargets int) []Candidate {
+	if minTargets <= 0 {
+		minTargets = DefaultMinTargets
+	}
+	const levels = (124-64)/4 + 1
+	var perDepth [levels][]Candidate
+	var refine func(view ip6.AddrSeq, depth int)
+	refine = func(view ip6.AddrSeq, depth int) {
+		li := (depth - 64) / 4
+		ip6.PrefixRuns(view, depth, func(p ip6.Prefix, lo, hi int) bool {
+			n := hi - lo
+			if depth > 64 && n <= minTargets {
+				return true // below threshold, and /64s only are exempt
+			}
+			perDepth[li] = append(perDepth[li], Candidate{Prefix: p, Targets: n})
+			if n > minTargets && depth < 124 {
+				refine(ip6.SeqSlice(view, lo, hi), depth+4)
+			}
+			return true
+		})
+	}
+	refine(sorted, 64)
+	total := 0
+	for _, l := range perDepth {
+		total += len(l)
+	}
+	out := make([]Candidate, 0, total)
+	for _, l := range perDepth {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// BGPCandidates returns every announced prefix as a candidate, probed
+// as-is ("without enumerating additional prefixes").
+func BGPCandidates(table *bgp.Table) []Candidate {
+	anns := table.Announcements()
+	out := make([]Candidate, len(anns))
+	for i, a := range anns {
+		out[i] = Candidate{Prefix: a.Prefix}
+	}
+	return out
+}
+
+// CandidateTable is the frozen candidate universe of an APD study: the
+// day-0 candidate list in probe order, with every distinct prefix
+// assigned a stable integer ID. The IDs index the columnar day history
+// (History) and the pipeline's running near-aliased masks, so daily
+// bookkeeping is array scans rather than per-prefix map probes. Entries
+// may repeat a prefix (hitlist- and BGP-derived candidates are probed
+// independently); such entries share one ID.
+type CandidateTable struct {
+	cands    []Candidate
+	entryID  []int32
+	prefixes []ip6.Prefix
+	ids      map[ip6.Prefix]int32
+}
+
+// NewCandidateTable freezes a candidate list, assigning IDs in first-
+// occurrence order (deterministic: the list order is the probe order).
+func NewCandidateTable(cands []Candidate) *CandidateTable {
+	t := &CandidateTable{
+		cands:   cands,
+		entryID: make([]int32, len(cands)),
+		ids:     make(map[ip6.Prefix]int32, len(cands)),
+	}
+	for i, c := range cands {
+		id, ok := t.ids[c.Prefix]
+		if !ok {
+			id = int32(len(t.prefixes))
+			t.ids[c.Prefix] = id
+			t.prefixes = append(t.prefixes, c.Prefix)
+		}
+		t.entryID[i] = id
+	}
+	return t
+}
+
+// Candidates returns the full entry list in probe order. Read-only.
+func (t *CandidateTable) Candidates() []Candidate { return t.cands }
+
+// NumEntries returns the number of candidate entries.
+func (t *CandidateTable) NumEntries() int { return len(t.cands) }
+
+// NumIDs returns the number of distinct prefixes (the ID space width).
+func (t *CandidateTable) NumIDs() int { return len(t.prefixes) }
+
+// EntryID returns the prefix ID of entry i.
+func (t *CandidateTable) EntryID(i int) int32 { return t.entryID[i] }
+
+// ID returns the ID of a prefix, or ok=false if it is not in the table.
+func (t *CandidateTable) ID(p ip6.Prefix) (int32, bool) {
+	id, ok := t.ids[p]
+	return id, ok
+}
+
+// PrefixOf returns the prefix assigned the given ID.
+func (t *CandidateTable) PrefixOf(id int32) ip6.Prefix { return t.prefixes[id] }

@@ -1,0 +1,326 @@
+package apd
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"expanse/internal/ip6"
+)
+
+// History accumulates daily branch masks for the sliding window (§5.2) in
+// columnar form: every distinct prefix has a stable integer ID, and each
+// day stores one []BranchMask column indexed by ID plus a presence bitmap
+// marking the IDs actually probed that day (later days are narrowed to
+// near-aliased candidates). Window evaluation — MergedAt, MergedColumn,
+// AliasedAt, UnstablePrefixes — is therefore array OR-scans over the day
+// columns instead of per-prefix map probes, and the whole-window metrics
+// fan out over chunk-parallel workers.
+//
+// IDs are assigned by Bind (adopting a CandidateTable's ID space) or
+// lazily by Add, which registers a day's unseen prefixes in sorted order
+// so the assignment never depends on map iteration. The zero value is an
+// empty history ready to use.
+type History struct {
+	ids      map[ip6.Prefix]int32
+	prefixes []ip6.Prefix
+	days     []dayColumn
+}
+
+// dayColumn is one day's observation: masks[id] is the branch mask of
+// prefix id (zero when absent), present marks the probed IDs. Columns
+// are sized to the ID space at the time of recording; IDs registered
+// later read as absent via the bounds checks in the scans.
+type dayColumn struct {
+	masks   []BranchMask
+	present bitset
+}
+
+// Bind adopts the table's prefix-ID assignment, so day columns recorded
+// via AddIDs index directly by candidate ID. Bind must be called before
+// any day is added and at most once.
+func (h *History) Bind(t *CandidateTable) {
+	if len(h.days) > 0 || h.ids != nil {
+		panic("apd: History.Bind on a non-empty history")
+	}
+	h.prefixes = append([]ip6.Prefix(nil), t.prefixes...)
+	h.ids = make(map[ip6.Prefix]int32, len(t.prefixes))
+	for p, id := range t.ids {
+		h.ids[p] = id
+	}
+}
+
+// Add appends one day's observation from a per-prefix mask map. Unseen
+// prefixes are registered in ComparePrefix order, keeping ID assignment a
+// pure function of the observation sequence.
+func (h *History) Add(day map[ip6.Prefix]BranchMask) {
+	var fresh []ip6.Prefix
+	for p := range day {
+		if _, ok := h.ids[p]; !ok {
+			fresh = append(fresh, p)
+		}
+	}
+	if len(fresh) > 0 {
+		sort.Slice(fresh, func(i, j int) bool { return ip6.ComparePrefix(fresh[i], fresh[j]) < 0 })
+		if h.ids == nil {
+			h.ids = make(map[ip6.Prefix]int32, len(fresh))
+		}
+		for _, p := range fresh {
+			if _, ok := h.ids[p]; !ok {
+				h.ids[p] = int32(len(h.prefixes))
+				h.prefixes = append(h.prefixes, p)
+			}
+		}
+	}
+	col := dayColumn{masks: make([]BranchMask, len(h.prefixes)), present: newBitset(len(h.prefixes))}
+	for p, m := range day {
+		id := h.ids[p]
+		col.masks[id] |= m
+		col.present.set(int(id))
+	}
+	h.days = append(h.days, col)
+}
+
+// AddIDs appends one day's observation given pre-resolved prefix IDs:
+// masks[i] is the branch mask observed for ids[i]. Entries sharing an ID
+// (duplicate candidate prefixes) OR-merge, exactly like the map form.
+func (h *History) AddIDs(ids []int32, masks []BranchMask) {
+	if len(ids) != len(masks) {
+		panic("apd: History.AddIDs length mismatch")
+	}
+	col := dayColumn{masks: make([]BranchMask, len(h.prefixes)), present: newBitset(len(h.prefixes))}
+	for i, id := range ids {
+		col.masks[id] |= masks[i]
+		col.present.set(int(id))
+	}
+	h.days = append(h.days, col)
+}
+
+// Len returns the number of recorded days.
+func (h *History) Len() int { return len(h.days) }
+
+// windowStart returns the first day index of the window ending at di
+// (window already clamped to >= 1).
+func windowStart(di, window int) int {
+	lo := di - window + 1
+	if lo < 0 {
+		lo = 0
+	}
+	return lo
+}
+
+// MergedAt returns the branch mask of prefix p at day index di, OR-merged
+// over a sliding window of `window` days TOTAL ending at di (window 1 =
+// that day only; values below 1 are clamped to 1): a branch counts as
+// responsive if its address answered any protocol on any day in the
+// window (§5.2). The paper's 3-day window therefore merges exactly days
+// di-2 .. di — an earlier version merged window+1 days, silently turning
+// the §5.2 evaluation into a 4-day merge.
+func (h *History) MergedAt(p ip6.Prefix, di, window int) BranchMask {
+	if window < 1 {
+		window = 1
+	}
+	id, ok := h.ids[p]
+	if !ok {
+		return 0
+	}
+	var m BranchMask
+	for i := windowStart(di, window); i <= di && i < len(h.days); i++ {
+		if int(id) < len(h.days[i].masks) {
+			m |= h.days[i].masks[id]
+		}
+	}
+	return m
+}
+
+// MergedColumn returns the whole ID space's window-merged masks at day
+// index di — mask[id] OR-merged over the `window` days ending at di — as
+// a chunk-parallel array OR-scan over the day columns. The result is
+// indexed by prefix ID (CandidateTable IDs when the history is bound).
+func (h *History) MergedColumn(di, window, workers int) []BranchMask {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]BranchMask, len(h.prefixes))
+	lo := windowStart(di, window)
+	chunks(len(out), workers, func(clo, chi int) {
+		for i := lo; i <= di && i < len(h.days); i++ {
+			masks := h.days[i].masks
+			hi := chi
+			if hi > len(masks) {
+				hi = len(masks)
+			}
+			for id := clo; id < hi; id++ {
+				out[id] |= masks[id]
+			}
+		}
+	})
+	return out
+}
+
+// ORDayInto ORs day di's column into dst (indexed by prefix ID), the
+// running-mask update of the pipeline's candidate narrowing, chunk-
+// parallel over disjoint ID ranges.
+func (h *History) ORDayInto(di int, dst []BranchMask, workers int) {
+	masks := h.days[di].masks
+	n := len(masks)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	chunks(n, workers, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			dst[id] |= masks[id]
+		}
+	})
+}
+
+// presentUnion returns the union of the presence bitmaps over the window
+// ending at di.
+func (h *History) presentUnion(di, window int) bitset {
+	u := newBitset(len(h.prefixes))
+	for i := windowStart(di, window); i <= di && i < len(h.days); i++ {
+		u.or(h.days[i].present)
+	}
+	return u
+}
+
+// AliasedAt returns the set of prefixes classified aliased at day index
+// di under the given sliding window, scanning with all available CPUs.
+// A prefix participates if it was probed on ANY day of the window, not
+// just day di — later days narrow the probe set to near-aliased
+// candidates, and the old per-day iteration silently dropped prefixes
+// responsive earlier in the window but absent from day di's narrowed
+// probe set.
+func (h *History) AliasedAt(di, window int) map[ip6.Prefix]bool {
+	return h.AliasedAtWorkers(di, window, runtime.GOMAXPROCS(0))
+}
+
+// AliasedAtWorkers is AliasedAt with an explicit worker cap for the
+// column scan (the pipeline's Config.Workers plumbing; the result is
+// identical for every value).
+func (h *History) AliasedAtWorkers(di, window, workers int) map[ip6.Prefix]bool {
+	out := make(map[ip6.Prefix]bool)
+	if di >= len(h.days) || di < 0 {
+		return out
+	}
+	if window < 1 {
+		window = 1
+	}
+	present := h.presentUnion(di, window)
+	merged := h.MergedColumn(di, window, workers)
+	for id, m := range merged {
+		if m == AllBranches && present.get(id) {
+			out[h.prefixes[id]] = true
+		}
+	}
+	return out
+}
+
+// Prefixes returns every prefix ever observed, sorted.
+func (h *History) Prefixes() []ip6.Prefix {
+	seen := h.presentUnion(len(h.days)-1, len(h.days))
+	out := make([]ip6.Prefix, 0, len(h.prefixes))
+	for id, p := range h.prefixes {
+		if seen.get(id) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+// UnstablePrefixes counts prefixes whose aliased classification changes
+// across the recorded days when using the given sliding window — the
+// metric of Table 4 — scanning with all available CPUs. Evaluation
+// starts once the window is full, i.e. at day index window-1 (window < 1
+// is clamped to 1, a single-day window).
+func (h *History) UnstablePrefixes(window int) int {
+	return h.UnstablePrefixesWorkers(window, runtime.GOMAXPROCS(0))
+}
+
+// UnstablePrefixesWorkers is UnstablePrefixes with an explicit worker
+// cap (the pipeline's Config.Workers plumbing). The scan is
+// chunk-parallel over the ID space: each prefix's flip count is an
+// independent walk down its mask column, and the per-chunk counts sum
+// to the same total for every worker count.
+func (h *History) UnstablePrefixesWorkers(window, workers int) int {
+	if window < 1 {
+		window = 1
+	}
+	start := window - 1
+	var total atomic.Int64
+	chunks(len(h.prefixes), workers, func(lo, hi int) {
+		unstable := 0
+		for id := lo; id < hi; id++ {
+			var prev, cur bool
+			flips := 0
+			for di := start; di < len(h.days); di++ {
+				var m BranchMask
+				for i := windowStart(di, window); i <= di; i++ {
+					if id < len(h.days[i].masks) {
+						m |= h.days[i].masks[id]
+					}
+				}
+				cur = m == AllBranches
+				if di > start && cur != prev {
+					flips++
+				}
+				prev = cur
+			}
+			if flips > 0 {
+				unstable++
+			}
+		}
+		total.Add(int64(unstable))
+	})
+	return int(total.Load())
+}
+
+// chunkFloor is the minimum per-worker chunk size of the columnar scans:
+// below this, goroutine fan-out costs more than the scan itself.
+const chunkFloor = 1024
+
+// chunks splits [0,n) into up to `workers` contiguous ranges (at least
+// chunkFloor wide) and runs fn on each concurrently; with one range it
+// runs inline. Used for scans whose per-chunk work is order-independent.
+func chunks(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if max := (n + chunkFloor - 1) / chunkFloor; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// bitset is a fixed-width presence bitmap.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) get(i int) bool { return i>>6 < len(b) && b[i>>6]&(1<<(i&63)) != 0 }
+
+// or merges another bitmap (possibly narrower) into b.
+func (b bitset) or(o bitset) {
+	for i := range o {
+		b[i] |= o[i]
+	}
+}

@@ -1,0 +1,203 @@
+package apd
+
+// The retired map/trie alias-plane implementations, kept verbatim as
+// property-test references and benchmark baselines: candidate derivation
+// by per-level map bucketing, the per-day map history, and the trie-
+// walking LPM filter. The live implementations (run-boundary scan,
+// columnar day history, compiled interval table) are pinned against these
+// on random inputs.
+
+import (
+	"sort"
+
+	"expanse/internal/ip6"
+)
+
+// legacyHitlistCandidates is the retired map-bucketing candidate
+// derivation: every level materializes a map[prefix][]addr of full
+// address slices, refining lists above the threshold.
+func legacyHitlistCandidates(addrs []ip6.Addr, minTargets int) []Candidate {
+	if minTargets <= 0 {
+		minTargets = DefaultMinTargets
+	}
+	bucket := func(lists [][]ip6.Addr, depth int) map[ip6.Prefix][]ip6.Addr {
+		m := map[ip6.Prefix][]ip6.Addr{}
+		for _, list := range lists {
+			for _, a := range list {
+				p := ip6.PrefixFrom(a, depth)
+				m[p] = append(m[p], a)
+			}
+		}
+		return m
+	}
+	level := bucket([][]ip6.Addr{addrs}, 64)
+	var out []Candidate
+	for p, list := range level {
+		out = append(out, Candidate{Prefix: p, Targets: len(list)})
+	}
+	for depth := 68; depth <= 124; depth += 4 {
+		var work [][]ip6.Addr
+		for _, list := range level {
+			if len(list) > minTargets {
+				work = append(work, list)
+			}
+		}
+		next := bucket(work, depth)
+		for p, list := range next {
+			if len(list) > minTargets {
+				out = append(out, Candidate{Prefix: p, Targets: len(list)})
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return ip6.ComparePrefix(out[i].Prefix, out[j].Prefix) < 0
+	})
+	return out
+}
+
+// legacyHistory is the retired sliding-window store: one
+// map[prefix]mask per day, probed per prefix per day.
+type legacyHistory struct {
+	days []map[ip6.Prefix]BranchMask
+}
+
+func (h *legacyHistory) Add(day map[ip6.Prefix]BranchMask) {
+	h.days = append(h.days, day)
+}
+
+func (h *legacyHistory) Len() int { return len(h.days) }
+
+func (h *legacyHistory) MergedAt(p ip6.Prefix, di, window int) BranchMask {
+	if window < 1 {
+		window = 1
+	}
+	var m BranchMask
+	lo := di - window + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= di && i < len(h.days); i++ {
+		m |= h.days[i][p]
+	}
+	return m
+}
+
+// legacyAliasedAt keeps the retired per-day iteration, INCLUDING its bug:
+// only prefixes present in day di's (possibly narrowed) probe set are
+// considered, dropping prefixes responsive earlier in the window.
+func (h *legacyHistory) legacyAliasedAt(di, window int) map[ip6.Prefix]bool {
+	out := make(map[ip6.Prefix]bool)
+	if di >= len(h.days) || di < 0 {
+		return out
+	}
+	for p := range h.days[di] {
+		if h.MergedAt(p, di, window) == AllBranches {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// aliasedAtUnion is the corrected reference: evaluate every prefix probed
+// anywhere in the window.
+func (h *legacyHistory) aliasedAtUnion(di, window int) map[ip6.Prefix]bool {
+	out := make(map[ip6.Prefix]bool)
+	if di >= len(h.days) || di < 0 {
+		return out
+	}
+	if window < 1 {
+		window = 1
+	}
+	lo := di - window + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= di; i++ {
+		for p := range h.days[i] {
+			if h.MergedAt(p, di, window) == AllBranches {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+func (h *legacyHistory) Prefixes() []ip6.Prefix {
+	seen := map[ip6.Prefix]bool{}
+	for _, d := range h.days {
+		for p := range d {
+			seen[p] = true
+		}
+	}
+	out := make([]ip6.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+func (h *legacyHistory) UnstablePrefixes(window int) int {
+	if window < 1 {
+		window = 1
+	}
+	start := window - 1
+	unstable := 0
+	for _, p := range h.Prefixes() {
+		var prev, cur bool
+		flips := 0
+		for di := start; di < len(h.days); di++ {
+			cur = h.MergedAt(p, di, window) == AllBranches
+			if di > start && cur != prev {
+				flips++
+			}
+			prev = cur
+		}
+		if flips > 0 {
+			unstable++
+		}
+	}
+	return unstable
+}
+
+// legacyTrieFilter is the retired LPM filter: one radix-trie walk per
+// classified address.
+type legacyTrieFilter struct {
+	trie ip6.Trie[bool]
+}
+
+func newLegacyTrieFilter(verdicts map[ip6.Prefix]bool) *legacyTrieFilter {
+	f := &legacyTrieFilter{}
+	for p, aliased := range verdicts {
+		f.trie.Insert(p, aliased)
+	}
+	return f
+}
+
+func (f *legacyTrieFilter) IsAliased(addr ip6.Addr) bool {
+	_, aliased, ok := f.trie.Lookup(addr)
+	return ok && aliased
+}
+
+func (f *legacyTrieFilter) AliasedPrefixes() []ip6.Prefix {
+	var out []ip6.Prefix
+	f.trie.Walk(func(p ip6.Prefix, aliased bool) bool {
+		if aliased {
+			out = append(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+func (f *legacyTrieFilter) Split(addrs []ip6.Addr) (clean, aliased []ip6.Addr) {
+	for _, a := range addrs {
+		if f.IsAliased(a) {
+			aliased = append(aliased, a)
+		} else {
+			clean = append(clean, a)
+		}
+	}
+	return clean, aliased
+}

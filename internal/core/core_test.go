@@ -290,12 +290,14 @@ func TestLabConcurrentExperiments(t *testing.T) {
 }
 
 // TestReportsIdenticalAcrossWorkers pins end-to-end determinism of the
-// sharded data plane AND the analysis plane: every report — collection
-// statistics, the Fig 2/3 entropy-clustering family (run-boundary
-// grouping, parallel fingerprints, the concurrent elbow sweep), APD
-// impact, cross-protocol matrices, the longitudinal study — must be
-// byte-identical no matter how many workers the store, scanner, detector
-// and clustering engine fan out over.
+// sharded data plane, the analysis plane AND the alias plane: every
+// report — collection statistics, the Fig 2/3 entropy-clustering family
+// (run-boundary grouping, parallel fingerprints, the concurrent elbow
+// sweep), the APD family (Table 4's chunk-parallel window merges, Sec
+// 5.3's and Fig 4's interval-merge hitlist split), cross-protocol
+// matrices, the longitudinal study — must be byte-identical no matter
+// how many workers the store, scanner, detector, history scans and
+// clustering engine fan out over.
 func TestReportsIdenticalAcrossWorkers(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Sim.Scale = 0.03
@@ -305,7 +307,7 @@ func TestReportsIdenticalAcrossWorkers(t *testing.T) {
 		return []func() *Report{
 			l.Table1, l.Table2, l.Fig1a, l.Fig1c,
 			l.Fig2a, l.Fig2b, l.Fig3a, l.Fig3b,
-			l.Sec53, l.Fig7, l.Fig8, l.Fig10,
+			l.Table4, l.Sec53, l.Fig4, l.Fig7, l.Fig8, l.Fig10,
 		}
 	}
 	build := func(workers int) []string {

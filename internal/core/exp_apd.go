@@ -53,7 +53,7 @@ func (l *Lab) Sec53() *Report {
 	l.ensureAPD()
 	r := &Report{ID: "Sec 5.3", Title: "Impact of de-aliasing on the hitlist"}
 	all := l.P.Hitlist().Sorted()
-	clean, aliased := l.filter().Split(all)
+	clean, aliased, _ := l.hitlistSplit()
 	r.addf("hitlist before filtering: %d", len(all))
 	r.addf("after removing aliased:  %d (%.1f%% remain)", len(clean), 100*float64(len(clean))/float64(len(all)))
 	r.addf("aliased addresses:       %d (%.1f%%)", len(aliased), 100*float64(len(aliased))/float64(len(all)))
@@ -126,7 +126,7 @@ func (l *Lab) Fig4() *Report {
 	l.ensureAPD()
 	r := &Report{ID: "Fig 4", Title: "Prefix and AS distribution: aliased vs non-aliased vs all"}
 	all := l.P.Hitlist().Sorted()
-	clean, aliased := l.filter().Split(all)
+	clean, aliased, _ := l.hitlistSplit()
 	points := stats.LogPoints(1000)
 	header := fmt.Sprintf("%-24s", "population")
 	for _, x := range points {
@@ -336,10 +336,14 @@ func (l *Lab) Sec55() *Report {
 	verdicts := md.Detect(cands, l.measureDay())
 	mf := apd.MurdockFilter(verdicts)
 
+	// Both filters classify the sorted hitlist by linear interval merge;
+	// ours is the memoized window-snapshot split.
+	_, _, oursBits := l.hitlistSplit()
+	theirsBits := mf.Classify(ip6.Addrs(hitlist), l.P.Cfg.Workers)
 	oursOnly, theirsOnly, both := 0, 0, 0
-	for _, a := range hitlist {
-		ours := l.filter().IsAliased(a)
-		theirs := mf.IsAliased(a)
+	for i := range hitlist {
+		ours := oursBits[i]
+		theirs := theirsBits[i]
 		switch {
 		case ours && theirs:
 			both++

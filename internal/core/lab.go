@@ -59,9 +59,18 @@ type Lab struct {
 	// history first fills Cfg.APDWindow days (the state the paper's daily
 	// hitlist would publish). Later APD days keep extending the history
 	// for the stability study without disturbing these.
-	winClean    []ip6.Addr
 	winFilter   *apd.Filter
 	winVerdicts map[ip6.Prefix]bool
+
+	// Memoized clean/aliased split of the full hitlist under the window
+	// snapshot's filter — Sec53, Fig4, Fig5 and the curated-scan targets
+	// all consume the same split, so it is classified exactly once (the
+	// hitlist is immutable after collection, so lazy evaluation matches
+	// the snapshot the eager split used to take).
+	splitOnce    sync.Once
+	splitBits    []bool // splitBits[i]: sorted-hitlist address i is aliased
+	splitClean   []ip6.Addr
+	splitAliased []ip6.Addr
 
 	scanFullOnce  sync.Once
 	scanFull      *Scan // day-0 sweep over the FULL hitlist (pre-APD view)
@@ -109,19 +118,29 @@ func (l *Lab) ensureAPDDays(n int) {
 	for ; l.apdDays < n; l.apdDays++ {
 		l.P.RunAPD(l.measureDay() + l.apdDays)
 		if l.apdDays+1 == l.P.Cfg.APDWindow {
-			l.winClean = l.P.CleanTargets()
 			l.winFilter = l.P.Filter()
 			l.winVerdicts = l.P.Verdicts()
 		}
 	}
 }
 
+// hitlistSplit returns the memoized clean/aliased partition of the
+// sorted hitlist under the window snapshot's filter, plus the raw
+// per-address classification aligned with Hitlist().Sorted(). Every
+// consumer shares one chunk-parallel interval merge.
+func (l *Lab) hitlistSplit() (clean, aliased []ip6.Addr, bits []bool) {
+	f := l.filter()
+	l.splitOnce.Do(func() {
+		l.splitClean, l.splitAliased, l.splitBits =
+			f.SplitSorted(l.P.Hitlist().SortedSeq(), l.P.Cfg.Workers)
+	})
+	return l.splitClean, l.splitAliased, l.splitBits
+}
+
 // cleanTargets returns the curated hitlist of the window snapshot.
 func (l *Lab) cleanTargets() []ip6.Addr {
-	l.ensureAPD()
-	l.apdMu.Lock()
-	defer l.apdMu.Unlock()
-	return l.winClean
+	clean, _, _ := l.hitlistSplit()
+	return clean
 }
 
 // filter returns the alias filter of the window snapshot.
@@ -145,7 +164,7 @@ func (l *Lab) verdicts() map[ip6.Prefix]bool {
 func (l *Lab) unstablePrefixes(window int) int {
 	l.apdMu.Lock()
 	defer l.apdMu.Unlock()
-	return l.P.History().UnstablePrefixes(window)
+	return l.P.History().UnstablePrefixesWorkers(window, l.P.Cfg.Workers)
 }
 
 // ensureScanFull sweeps the complete hitlist once (the pre-APD view that

@@ -66,18 +66,23 @@ type Pipeline struct {
 	scanner  *probe.Scanner
 	detector *apd.Detector
 
-	// APD state.
+	// APD state, columnar: the day-0 candidate universe is frozen into
+	// table (stable integer IDs per distinct prefix); candidates/candIDs
+	// are the currently probed subset in probe order; the day history and
+	// the running near-aliased masks are arrays indexed by table ID.
+	table      *apd.CandidateTable
 	candidates []apd.Candidate
+	candIDs    []int32
 	hist       apd.History
 	filter     *apd.Filter
 	verdicts   map[ip6.Prefix]bool
-	// nearMask is the running OR of every candidate's daily branch masks,
-	// updated once per probing day. A candidate is "near aliased" — and
-	// worth re-probing on later days — iff its running mask has >= 12
-	// responding branches, which is exactly the old O(days) history scan
-	// folded into O(1) bookkeeping per day (masks only ever accumulate
-	// under the OR-merge).
-	nearMask map[ip6.Prefix]apd.BranchMask
+	// nearMask[id] is the running OR of candidate id's daily branch
+	// masks, updated once per probing day by a chunk-parallel column OR.
+	// A candidate is "near aliased" — and worth re-probing on later days —
+	// iff its running mask has >= 12 responding branches, which is exactly
+	// the old O(days) history scan folded into O(1) bookkeeping per day
+	// (masks only ever accumulate under the OR-merge).
+	nearMask []apd.BranchMask
 }
 
 // New builds the world, the DNS view, and the collectors.
@@ -130,31 +135,37 @@ func (p *Pipeline) Hitlist() *ip6.ShardSet { return p.Store.All() }
 // close to aliased before — full re-derivation daily would be probe-for-
 // probe identical in the simulator but pointlessly slow (see DESIGN.md).
 func (p *Pipeline) RunAPD(day int) {
-	if p.candidates == nil {
-		p.candidates = apd.HitlistCandidates(p.Hitlist(), p.Cfg.MinTargets)
-		p.candidates = append(p.candidates, apd.BGPCandidates(p.World.Table)...)
+	if p.table == nil {
+		cands := apd.HitlistCandidates(p.Hitlist(), p.Cfg.MinTargets)
+		cands = append(cands, apd.BGPCandidates(p.World.Table)...)
+		p.table = apd.NewCandidateTable(cands)
+		p.hist.Bind(p.table)
+		p.nearMask = make([]apd.BranchMask, p.table.NumIDs())
+		p.candidates = cands
+		p.candIDs = make([]int32, len(cands))
+		for i := range cands {
+			p.candIDs[i] = p.table.EntryID(i)
+		}
 	} else if p.hist.Len() > 0 {
 		// Narrow to near-aliased prefixes (running mask >= 12 branches).
 		narrow := p.candidates[:0:0]
-		for _, c := range p.candidates {
-			if p.nearMask[c.Prefix].Count() >= 12 {
+		narrowIDs := p.candIDs[:0:0]
+		for i, c := range p.candidates {
+			if p.nearMask[p.candIDs[i]].Count() >= 12 {
 				narrow = append(narrow, c)
+				narrowIDs = append(narrowIDs, p.candIDs[i])
 			}
 		}
-		p.candidates = narrow
+		p.candidates, p.candIDs = narrow, narrowIDs
 	}
-	masks := p.detector.ProbeDay(p.candidates, day)
-	p.hist.Add(masks)
-	if p.nearMask == nil {
-		p.nearMask = make(map[ip6.Prefix]apd.BranchMask, len(masks))
-	}
-	for pfx, m := range masks {
-		p.nearMask[pfx] |= m
-	}
+	flat := p.detector.ProbeDayFlat(p.candidates, day)
+	p.hist.AddIDs(p.candIDs, flat)
 	di := p.hist.Len() - 1
+	p.hist.ORDayInto(di, p.nearMask, p.Cfg.Workers)
+	merged := p.hist.MergedColumn(di, p.Cfg.APDWindow, p.Cfg.Workers)
 	p.verdicts = make(map[ip6.Prefix]bool, len(p.candidates))
-	for _, c := range p.candidates {
-		p.verdicts[c.Prefix] = p.hist.MergedAt(c.Prefix, di, p.Cfg.APDWindow) == apd.AllBranches
+	for i, c := range p.candidates {
+		p.verdicts[c.Prefix] = merged[p.candIDs[i]] == apd.AllBranches
 	}
 	p.filter = apd.NewFilter(p.verdicts)
 }
@@ -240,8 +251,9 @@ func (p *Pipeline) ProbePairs(targets []ip6.Addr, day int) []probe.Pair {
 }
 
 // CleanTargets returns the hitlist minus aliased addresses (requires a
-// prior RunAPD), sorted.
+// prior RunAPD), sorted. The hitlist's cached sorted view is classified
+// by the filter's chunk-parallel interval merge, never per-address.
 func (p *Pipeline) CleanTargets() []ip6.Addr {
-	clean, _ := p.filter.Split(p.Hitlist().Sorted())
+	clean, _, _ := p.filter.SplitSorted(p.Hitlist().SortedSeq(), p.Cfg.Workers)
 	return clean
 }

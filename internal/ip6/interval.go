@@ -1,0 +1,111 @@
+package ip6
+
+import "sort"
+
+// Interval is one row of a compiled prefix table: the inclusive address
+// range [Lo, Hi] and the value of the most specific prefix covering it.
+// A compiled table is the flat, branch-free form of a longest-prefix-match
+// trie: sorted, disjoint, and directly mergeable against a sorted address
+// stream.
+type Interval[V any] struct {
+	Lo, Hi Addr
+	Val    V
+}
+
+// CompileIntervals flattens per-prefix value assignments into a sorted
+// table of disjoint inclusive address intervals with most-specific-wins
+// semantics: an address inside several of the prefixes lands in the
+// interval carrying the longest (most specific) covering prefix's value,
+// exactly as a trie longest-prefix-match would decide. Addresses covered
+// by none of the prefixes fall between intervals. Adjacent intervals with
+// equal values are coalesced, so the table is also minimal.
+//
+// The prefixes must be unique; the table is a pure function of the
+// (prefix, value) set, independent of input order. Each prefix appears as
+// at most O(len) rows (its range minus the ranges of its more-specifics),
+// so the table has at most O(n·128) rows and in practice close to n.
+func CompileIntervals[V comparable](prefixes []Prefix, vals []V) []Interval[V] {
+	if len(prefixes) != len(vals) {
+		panic("ip6: CompileIntervals length mismatch")
+	}
+	n := len(prefixes)
+	if n == 0 {
+		return nil
+	}
+	// Sort by (base address, length): a prefix precedes everything it
+	// contains, and nesting is stack-shaped (prefixes are nested or
+	// disjoint, never partially overlapping).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := prefixes[order[a]], prefixes[order[b]]
+		if c := pa.Addr().Compare(pb.Addr()); c != 0 {
+			return c < 0
+		}
+		return pa.Bits() < pb.Bits()
+	})
+
+	out := make([]Interval[V], 0, n)
+	emit := func(lo, hi Addr, v V) {
+		if k := len(out); k > 0 && out[k-1].Val == v && out[k-1].Hi.Next() == lo {
+			out[k-1].Hi = hi
+			return
+		}
+		out = append(out, Interval[V]{Lo: lo, Hi: hi, Val: v})
+	}
+
+	type frame struct {
+		last Addr // highest address of the stacked prefix
+		val  V
+	}
+	var stack []frame
+	var cur Addr // next uncovered address inside the stack top
+	// exhausted flags that an emitted interval reached the top of the
+	// address space, so cur has wrapped to zero and nothing remains.
+	exhausted := false
+	closeTop := func(top frame) {
+		if !exhausted && !top.last.Less(cur) {
+			emit(cur, top.last, top.val)
+			if top.last == (Addr{hi: ^uint64(0), lo: ^uint64(0)}) {
+				exhausted = true
+			}
+			cur = top.last.Next()
+		}
+	}
+	for _, oi := range order {
+		p, v := prefixes[oi], vals[oi]
+		start := p.Addr()
+		// Pop every stacked prefix that ends before this one starts,
+		// emitting its remaining uncovered tail.
+		for len(stack) > 0 && stack[len(stack)-1].last.Less(start) {
+			closeTop(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		}
+		// The enclosing prefix (if any) owns the gap up to this start.
+		if len(stack) > 0 && cur.Less(start) {
+			emit(cur, start.Prev(), stack[len(stack)-1].val)
+		}
+		cur = start
+		stack = append(stack, frame{last: p.Last(), val: v})
+	}
+	for len(stack) > 0 {
+		closeTop(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}
+
+// LookupInterval returns the value of the table interval containing a, or
+// ok=false if a falls outside every interval. The table must be sorted and
+// disjoint (CompileIntervals output). It is the point-query complement of
+// the linear merge: a single binary search, no trie walk.
+func LookupInterval[V any](tab []Interval[V], a Addr) (val V, ok bool) {
+	// First interval whose Hi is >= a; a is inside it iff its Lo is <= a.
+	i := sort.Search(len(tab), func(k int) bool { return a.Compare(tab[k].Hi) <= 0 })
+	if i < len(tab) && !a.Less(tab[i].Lo) {
+		return tab[i].Val, true
+	}
+	return val, false
+}
