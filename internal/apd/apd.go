@@ -100,6 +100,10 @@ type Detector struct {
 	// re-probed daily with the same deterministic targets (§5.2), so the
 	// 16 RNG draws per prefix are paid once, not once per day.
 	fanCache map[ip6.Prefix][Branches]ip6.Addr
+	// cols are the per-protocol mask-only result columns of ProbeDayFlat,
+	// reused across probing days (an OK bit per fan-out target is all the
+	// branch merge needs).
+	cols []wire.ResultColumns
 	// ProbesSent accumulates the number of probe packets sent, for the
 	// bandwidth comparison of §5.5.
 	ProbesSent int
@@ -140,9 +144,16 @@ func (d *Detector) Workers() int { return d.workers }
 // consume directly; entries sharing a prefix get independent masks here
 // and OR-merge at the history layer.
 //
-// All protocols are scanned concurrently (each scan fans out over worker
-// shards), and the branch masks are merged by candidate shards — results
-// are identical to the serial protocol-by-protocol merge.
+// Probing runs on the batched columnar path: each protocol's scan writes
+// only an OK bitset (16 × candidates bits, reused across days), and a
+// candidate's branch mask is its 16-bit window of that column ORed across
+// protocols — no per-protocol []Result is materialized. Candidates arrive
+// in ComparePrefix order and a prefix's 16 fan-out targets sit inside the
+// prefix, so the batch responder resolves long runs of targets against one
+// aliased region instead of walking a trie per probe. All protocols scan
+// concurrently; the mask fold is sharded over candidates after the
+// barrier. Results are identical to the per-probe protocol-by-protocol
+// merge.
 func (d *Detector) ProbeDayFlat(cands []Candidate, day int) []BranchMask {
 	// Flatten: 16 targets per candidate, probe once per protocol.
 	if d.fanCache == nil {
@@ -158,20 +169,23 @@ func (d *Detector) ProbeDayFlat(cands []Candidate, day int) []BranchMask {
 		targets = append(targets, fo[:]...)
 	}
 
-	results := make([][]probe.Result, len(d.protocols))
+	if d.cols == nil {
+		d.cols = make([]wire.ResultColumns, len(d.protocols))
+	}
 	var wg sync.WaitGroup
 	for pi, proto := range d.protocols {
 		wg.Add(1)
 		go func(pi int, proto wire.Proto) {
 			defer wg.Done()
-			results[pi] = d.scanner.Scan(targets, proto, day)
+			d.cols[pi].ResetOK(len(targets))
+			d.scanner.ScanColumns(ip6.Addrs(targets), proto, day, &d.cols[pi])
 		}(pi, proto)
 	}
 	wg.Wait()
 	d.ProbesSent += len(d.protocols) * len(targets)
 
-	// Sharded merge: each worker folds all protocols' responses for its
-	// candidate range into the flat mask slice.
+	// Sharded fold: each worker extracts its candidates' 16-bit branch
+	// windows from the protocol bitsets.
 	flat := make([]BranchMask, len(cands))
 	chunk := (len(cands) + d.workers - 1) / d.workers
 	if chunk > 0 {
@@ -185,12 +199,8 @@ func (d *Detector) ProbeDayFlat(cands []Candidate, day int) []BranchMask {
 				defer wg.Done()
 				for ci := lo; ci < hi; ci++ {
 					var m BranchMask
-					for _, res := range results {
-						for b := 0; b < Branches; b++ {
-							if res[ci*Branches+b].OK {
-								m |= 1 << b
-							}
-						}
+					for pi := range d.cols {
+						m |= BranchMask(d.cols[pi].OK.Extract16(ci * Branches))
 					}
 					flat[ci] = m
 				}

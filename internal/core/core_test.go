@@ -290,14 +290,17 @@ func TestLabConcurrentExperiments(t *testing.T) {
 }
 
 // TestReportsIdenticalAcrossWorkers pins end-to-end determinism of the
-// sharded data plane, the analysis plane AND the alias plane: every
-// report — collection statistics, the Fig 2/3 entropy-clustering family
-// (run-boundary grouping, parallel fingerprints, the concurrent elbow
-// sweep), the APD family (Table 4's chunk-parallel window merges, Sec
-// 5.3's and Fig 4's interval-merge hitlist split), cross-protocol
-// matrices, the longitudinal study — must be byte-identical no matter
-// how many workers the store, scanner, detector, history scans and
-// clustering engine fan out over.
+// sharded data plane, the analysis plane, the alias plane AND the batched
+// scan plane: every report — collection statistics, the Fig 2/3
+// entropy-clustering family (run-boundary grouping, parallel
+// fingerprints, the concurrent elbow sweep), the APD family (Table 4's
+// chunk-parallel window merges, Sec 5.3's and Fig 4's interval-merge
+// hitlist split, Sec 5.5's Murdock comparison), the scan family (Fig 6's
+// pre-sized extractions, Fig 7's mask-fed matrix, Fig 8's streamed
+// multi-day sweep, Table 8's rDNS scans, the §5.4 interned-fingerprint
+// pair analyses of Tables 5/6) — must be byte-identical no matter how
+// many workers the store, scanner, detector, history scans and clustering
+// engine fan out over.
 func TestReportsIdenticalAcrossWorkers(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Sim.Scale = 0.03
@@ -307,7 +310,8 @@ func TestReportsIdenticalAcrossWorkers(t *testing.T) {
 		return []func() *Report{
 			l.Table1, l.Table2, l.Fig1a, l.Fig1c,
 			l.Fig2a, l.Fig2b, l.Fig3a, l.Fig3b,
-			l.Table4, l.Sec53, l.Fig4, l.Fig7, l.Fig8, l.Fig10,
+			l.Table4, l.Sec53, l.Fig4, l.Table5, l.Table6, l.Sec55,
+			l.Fig6, l.Fig7, l.Fig8, l.Table8, l.Fig10,
 		}
 	}
 	build := func(workers int) []string {

@@ -8,6 +8,7 @@ import (
 	"expanse/internal/bgp"
 	"expanse/internal/fingerprint"
 	"expanse/internal/ip6"
+	"expanse/internal/probe"
 	"expanse/internal/stats"
 	"expanse/internal/wire"
 	"expanse/internal/zesplot"
@@ -223,42 +224,53 @@ func (l *Lab) Fig5SVGs() (noAPD, aliased string) {
 	return noAPD, aliased
 }
 
+// pairRefSamples folds one target's two pair probes into the interned
+// sample slice, First before Second, skipping unanswered probes — the
+// same interleave the per-probe path produced from []Pair.
+func pairRefSamples(samples []fingerprint.RefSample, cols *probe.PairColumns, i int) []fingerprint.RefSample {
+	for _, c := range [2]*wire.ResultColumns{&cols.First, &cols.Second} {
+		if c.OK.Get(i) {
+			samples = append(samples, fingerprint.RefSample{
+				SentAt:   c.SentAt[i],
+				HopLimit: c.HopLimit[i],
+				Ref:      c.TCPRef[i],
+				TSVal:    c.TSVal[i],
+			})
+		}
+	}
+	return samples
+}
+
 // aliasedFingerprintReports collects §5.4 fingerprint reports over
-// aliased /64s whose 16 fan-out addresses all answered TCP/80.
+// aliased /64s whose 16 fan-out addresses all answered TCP/80. The pairs
+// are probed on the batched columnar path and analyzed over interned
+// fingerprint refs — one pair-column buffer set reused across prefixes,
+// no TCPInfo or options-string comparison anywhere.
 func (l *Lab) aliasedFingerprintReports() []fingerprint.Report {
 	l.ensureAPD()
 	day := l.measureDay()
+	table := l.P.TCPTable()
 	var reports []fingerprint.Report
+	var cols probe.PairColumns
+	var samples []fingerprint.RefSample
 	for p, aliased := range l.verdicts() {
 		if !aliased || p.Bits() != 64 {
 			continue
 		}
 		fo := apd.FanOut(p)
-		pairs := l.P.ProbePairs(fo[:], day)
-		var samples []fingerprint.Sample
+		l.P.ProbePairColumns(fo[:], day, &cols)
+		samples = samples[:0]
 		answered := 0
-		for _, pr := range pairs {
-			if pr.First.OK {
+		for i := 0; i < apd.Branches; i++ {
+			if cols.First.OK.Get(i) {
 				answered++
 			}
-			for _, res := range []struct {
-				ok  bool
-				at  wire.Time
-				hl  uint8
-				tcp *wire.TCPInfo
-			}{
-				{pr.First.OK, pr.First.SentAt, pr.First.HopLimit, pr.First.TCP},
-				{pr.Second.OK, pr.Second.SentAt, pr.Second.HopLimit, pr.Second.TCP},
-			} {
-				if res.ok {
-					samples = append(samples, fingerprint.Sample{SentAt: res.at, HopLimit: res.hl, TCP: res.tcp})
-				}
-			}
+			samples = pairRefSamples(samples, &cols, i)
 		}
 		if answered < apd.Branches {
 			continue // the paper analyzes fully-responsive prefixes only
 		}
-		reports = append(reports, fingerprint.Analyze(samples))
+		reports = append(reports, fingerprint.AnalyzeRefs(samples, table))
 	}
 	return reports
 }
@@ -295,24 +307,22 @@ func (l *Lab) Table6() *Report {
 		}
 	}
 	var nonAliased []fingerprint.Report
+	var cols probe.PairColumns
+	var samples []fingerprint.RefSample
+	table := l.P.TCPTable()
 	for _, addrs := range per64 {
 		if len(addrs) < 16 {
 			continue
 		}
-		pairs := l.P.ProbePairs(addrs[:16], day)
-		var samples []fingerprint.Sample
-		for _, pr := range pairs {
-			if pr.First.OK {
-				samples = append(samples, fingerprint.Sample{SentAt: pr.First.SentAt, HopLimit: pr.First.HopLimit, TCP: pr.First.TCP})
-			}
-			if pr.Second.OK {
-				samples = append(samples, fingerprint.Sample{SentAt: pr.Second.SentAt, HopLimit: pr.Second.HopLimit, TCP: pr.Second.TCP})
-			}
+		l.P.ProbePairColumns(addrs[:16], day, &cols)
+		samples = samples[:0]
+		for i := 0; i < 16; i++ {
+			samples = pairRefSamples(samples, &cols, i)
 		}
 		if len(samples) < 16 {
 			continue
 		}
-		nonAliased = append(nonAliased, fingerprint.Analyze(samples))
+		nonAliased = append(nonAliased, fingerprint.AnalyzeRefs(samples, table))
 	}
 
 	aliasedT := fingerprint.Tabulate(l.aliasedFingerprintReports())

@@ -57,7 +57,9 @@ func (l *Lab) Fig7() *Report {
 	m := stats.NewCondMatrix(names)
 	for _, mask := range l.scanClean.Masks {
 		if mask.Any() {
-			m.Observe(mask.Vector())
+			// RespMask bit i is protocol i in Protos order — the matrix
+			// consumes the mask directly, no []bool per observation.
+			m.ObserveMask(uint32(mask))
 		}
 	}
 	header := fmt.Sprintf("%-8s", "Y\\X")
@@ -145,22 +147,24 @@ func (l *Lab) buildLongitudinal() {
 		}
 	}
 
+	// Each row streams its 14 daily sweeps through one reused buffer set
+	// (5 protocols × 14 days × 9 rows of independent scans before — the
+	// masks are folded into a counter per day, never retained).
 	const days = 14
 	for _, rw := range rows {
 		if len(rw.baseline) == 0 {
 			continue
 		}
 		series := make([]float64, 0, days)
-		for d := 0; d < days; d++ {
-			scan := l.P.Sweep(rw.baseline, day0+d)
+		l.P.SweepDays(rw.baseline, day0, days, func(_ int, masks []wire.RespMask) {
 			n := 0
-			for _, m := range scan.Masks {
+			for _, m := range masks {
 				if (rw.any && m.Any()) || (!rw.any && m.Has(rw.proto)) {
 					n++
 				}
 			}
 			series = append(series, float64(n)/float64(len(rw.baseline)))
-		}
+		})
 		l.longitudinal[rw.label] = series
 	}
 }

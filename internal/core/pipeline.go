@@ -15,6 +15,9 @@
 package core
 
 import (
+	"math/bits"
+	"sync"
+
 	"expanse/internal/apd"
 	"expanse/internal/dnssim"
 	"expanse/internal/ip6"
@@ -185,17 +188,42 @@ func (p *Pipeline) History() *apd.History { return &p.hist }
 // APDProbesSent reports probe packets spent on APD so far.
 func (p *Pipeline) APDProbesSent() int { return p.detector.ProbesSent }
 
-// Scan is one day's responsiveness measurement over the given targets.
+// Scan is one day's responsiveness measurement over the given targets: a
+// view over the target list and the mask column the sweep wrote. Addrs
+// and Masks are shared, read-only columns; the accessors below memoize
+// their counts, so repeated consumers (Fig 6 alone queries a ~10^5-address
+// scan several times) pay one counting pass total and every extraction
+// allocates its exact output size.
 type Scan struct {
 	Day   int
 	Addrs []ip6.Addr
 	Masks []wire.RespMask
+
+	countOnce sync.Once
+	counts    [wire.NumProtos]int
+	anyCount  int
 }
 
-// Responsive returns the addresses that answered on the given protocol
-// (any protocol if p < 0).
+// ensureCounts tallies per-protocol and any-protocol responder counts in
+// one pass over the mask column.
+func (s *Scan) ensureCounts() {
+	s.countOnce.Do(func() {
+		for _, m := range s.Masks {
+			if !m.Any() {
+				continue
+			}
+			s.anyCount++
+			for rest := uint8(m); rest != 0; rest &= rest - 1 {
+				s.counts[bits.TrailingZeros8(rest)]++
+			}
+		}
+	})
+}
+
+// Responsive returns the addresses that answered on the given protocol.
 func (s *Scan) Responsive(p wire.Proto) []ip6.Addr {
-	var out []ip6.Addr
+	s.ensureCounts()
+	out := make([]ip6.Addr, 0, s.counts[p])
 	for i, m := range s.Masks {
 		if m.Has(p) {
 			out = append(out, s.Addrs[i])
@@ -206,7 +234,8 @@ func (s *Scan) Responsive(p wire.Proto) []ip6.Addr {
 
 // AnyResponsive returns addresses that answered at least one protocol.
 func (s *Scan) AnyResponsive() []ip6.Addr {
-	var out []ip6.Addr
+	s.ensureCounts()
+	out := make([]ip6.Addr, 0, s.anyCount)
 	for i, m := range s.Masks {
 		if m.Any() {
 			out = append(out, s.Addrs[i])
@@ -217,13 +246,8 @@ func (s *Scan) AnyResponsive() []ip6.Addr {
 
 // Count returns how many targets answered on the protocol.
 func (s *Scan) Count(p wire.Proto) int {
-	n := 0
-	for _, m := range s.Masks {
-		if m.Has(p) {
-			n++
-		}
-	}
-	return n
+	s.ensureCounts()
+	return s.counts[p]
 }
 
 // Sweep probes the targets on all five protocols for one day (§6).
@@ -245,9 +269,33 @@ func (p *Pipeline) ScanOne(targets []ip6.Addr, proto wire.Proto, day int) []prob
 	return p.scanner.Scan(targets, proto, day)
 }
 
-// ProbePairs sends the §5.4 fingerprinting probe pairs.
+// ProbePairs sends the §5.4 fingerprinting probe pairs (the per-probe
+// reference path, routed through the AddrSeq entry point).
 func (p *Pipeline) ProbePairs(targets []ip6.Addr, day int) []probe.Pair {
-	return p.scanner.ProbePairs(targets, wire.TCP80, day)
+	return p.scanner.ProbePairsSeq(ip6.Addrs(targets), wire.TCP80, day)
+}
+
+// ProbePairsSeq is ProbePairs over an indexed target view — no
+// flatten-copy when fed from the ShardSet's cached sorted view.
+func (p *Pipeline) ProbePairsSeq(targets ip6.AddrSeq, day int) []probe.Pair {
+	return p.scanner.ProbePairsSeq(targets, wire.TCP80, day)
+}
+
+// ProbePairColumns sends the §5.4 pairs on the batched columnar path,
+// with SYN-ACK fingerprints interned in the pipeline's table (TCPTable).
+func (p *Pipeline) ProbePairColumns(targets []ip6.Addr, day int, out *probe.PairColumns) {
+	p.scanner.ProbePairColumns(ip6.Addrs(targets), wire.TCP80, day, out)
+}
+
+// TCPTable returns the scanner's interned fingerprint table — the
+// resolver for TCPRef columns produced by the pipeline's scans.
+func (p *Pipeline) TCPTable() *wire.TCPTable { return p.scanner.TCPTable() }
+
+// SweepDays streams sweeps of the targets over consecutive days starting
+// at day0, reusing one set of scan buffers throughout; fn sees each day's
+// masks, valid only during the call (see probe.Scanner.SweepDays).
+func (p *Pipeline) SweepDays(targets []ip6.Addr, day0, days int, fn func(day int, masks []wire.RespMask)) {
+	p.scanner.SweepDays(ip6.Addrs(targets), day0, days, fn)
 }
 
 // CleanTargets returns the hitlist minus aliased addresses (requires a

@@ -111,6 +111,128 @@ func Analyze(samples []Sample) Report {
 	return rep
 }
 
+// RefSample is the columnar form of Sample: the SYN-ACK's static
+// fingerprint as an interned table ref instead of a heap TCPInfo, plus
+// the per-probe timestamp value. It is what the batched scan plane
+// produces (wire.ResultColumns rows).
+type RefSample struct {
+	SentAt   wire.Time
+	HopLimit uint8
+	// Ref indexes the interned fingerprint (wire.NoTCP = no usable
+	// response; such samples are skipped, like nil-TCP Samples).
+	Ref wire.TCPRef
+	// TSVal is the TCP timestamp value (meaningful iff the interned
+	// fingerprint has TSPresent).
+	TSVal uint32
+}
+
+// AnalyzeRefs is Analyze over interned fingerprint refs: two samples from
+// the same machine profile compare as one integer, so the per-field value
+// tests (options layout string included) run only when refs differ.
+// Results are identical to Analyze on the materialized samples (pinned by
+// test).
+func AnalyzeRefs(samples []RefSample, table *wire.TCPTable) Report {
+	var rep Report
+	usable := make([]RefSample, 0, len(samples))
+	for _, s := range samples {
+		if s.Ref != wire.NoTCP {
+			usable = append(usable, s)
+		}
+	}
+	rep.Samples = len(usable)
+	if len(usable) < 2 {
+		rep.TSIndecisive = true
+		return rep
+	}
+
+	first := usable[0]
+	firstITTL := ITTL(first.HopLimit)
+	firstFP := table.Fingerprint(first.Ref)
+	for _, s := range usable[1:] {
+		if ITTL(s.HopLimit) != firstITTL {
+			rep.ITTLInconsistent = true
+		}
+		if s.Ref == first.Ref {
+			continue // identical interned fingerprint: all value tests pass
+		}
+		fp := table.Fingerprint(s.Ref)
+		if fp.OptionsText != firstFP.OptionsText {
+			rep.OptionsInconsistent = true
+		}
+		if fp.WScale != firstFP.WScale {
+			rep.WScaleInconsistent = true
+		}
+		if fp.MSS != firstFP.MSS {
+			rep.MSSInconsistent = true
+		}
+		if fp.WSize != firstFP.WSize {
+			rep.WSizeInconsistent = true
+		}
+	}
+
+	rep.TSConsistent, rep.TSWhichPassed = timestampTestRefs(usable, table)
+	rep.TSIndecisive = !rep.TSConsistent
+	return rep
+}
+
+// timestampTestRefs is timestampTest over interned samples.
+func timestampTestRefs(usable []RefSample, table *wire.TCPTable) (bool, string) {
+	var ts []RefSample
+	for _, s := range usable {
+		if table.Fingerprint(s.Ref).TSPresent {
+			ts = append(ts, s)
+		}
+	}
+	// Check 1: "whether all hosts send the same (or missing) timestamps".
+	if len(ts) == 0 {
+		return true, "same" // uniformly missing
+	}
+	if len(ts) == len(usable) {
+		same := true
+		for _, s := range ts[1:] {
+			if s.TSVal != ts[0].TSVal {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true, "same"
+		}
+	} else {
+		// Mixed present/missing: cannot be one machine's clock.
+		return false, ""
+	}
+	if len(ts) < 3 {
+		return false, ""
+	}
+	ordered := make([]RefSample, len(ts))
+	copy(ordered, ts)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].SentAt < ordered[j].SentAt })
+	// Check 2: monotonic across the whole prefix in probe order.
+	monotonic := true
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].TSVal < ordered[i-1].TSVal {
+			monotonic = false
+			break
+		}
+	}
+	if monotonic {
+		return true, "monotonic"
+	}
+	// Check 3: global linear counter — regression of TSval against
+	// receive time with R² > 0.8.
+	x := make([]float64, len(ordered))
+	y := make([]float64, len(ordered))
+	for i, s := range ordered {
+		x[i] = float64(s.SentAt) / 1e6
+		y[i] = float64(s.TSVal)
+	}
+	if r := stats.LinearRegression(x, y); r.R2 > R2Threshold {
+		return true, "regression"
+	}
+	return false, ""
+}
+
 // timestampTest applies the three §5.4 checks in order.
 func timestampTest(usable []Sample) (bool, string) {
 	// Split into with/without timestamps.

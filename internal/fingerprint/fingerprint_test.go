@@ -1,6 +1,7 @@
 package fingerprint
 
 import (
+	"math/rand"
 	"testing"
 
 	"expanse/internal/wire"
@@ -199,5 +200,64 @@ func TestTallySharesEmpty(t *testing.T) {
 	a, b, c := tal.Shares()
 	if a != 0 || b != 0 || c != 0 {
 		t.Error("empty shares must be zero")
+	}
+}
+
+// TestAnalyzeRefsMatchesAnalyze property-pins the interned-ref analysis
+// against the per-sample reference: random sample sets drawn from a small
+// pool of machine personalities (with nil-TCP gaps, mixed timestamp
+// presence, and per-field variations) must produce identical reports on
+// both paths.
+func TestAnalyzeRefsMatchesAnalyze(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf19e4))
+	layouts := []string{"MSS-SACK-TS-N-WS", "MSS-N-WS-SACK-TS", "MSS"}
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(24)
+		samples := make([]Sample, 0, n)
+		refs := make([]RefSample, 0, n)
+		var table wire.TCPTable
+		for i := 0; i < n; i++ {
+			at := wire.Time(i * 500)
+			hl := uint8(40 + rng.Intn(4)*60)
+			if rng.Intn(6) == 0 {
+				samples = append(samples, Sample{SentAt: at, HopLimit: hl})
+				refs = append(refs, RefSample{SentAt: at, HopLimit: hl, Ref: wire.NoTCP})
+				continue
+			}
+			info := tcp(
+				layouts[rng.Intn(len(layouts))],
+				[]uint16{1440, 1460}[rng.Intn(2)],
+				uint8(7+rng.Intn(2)),
+				[]uint16{28800, 65535}[rng.Intn(2)],
+				rng.Intn(4) != 0,
+				0,
+			)
+			if info.TSPresent {
+				// Mix of monotonic-ish, constant and noisy clocks.
+				switch rng.Intn(3) {
+				case 0:
+					info.TSVal = 1000 + uint32(i*10)
+				case 1:
+					info.TSVal = 4242
+				default:
+					info.TSVal = rng.Uint32()
+				}
+			}
+			samples = append(samples, Sample{SentAt: at, HopLimit: hl, TCP: info})
+			refs = append(refs, RefSample{
+				SentAt:   at,
+				HopLimit: hl,
+				Ref: table.Intern(wire.TCPFingerprint{
+					OptionsText: info.OptionsText, MSS: info.MSS, WScale: info.WScale,
+					WSize: info.WSize, TSPresent: info.TSPresent,
+				}),
+				TSVal: info.TSVal,
+			})
+		}
+		want := Analyze(samples)
+		got := AnalyzeRefs(refs, &table)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): AnalyzeRefs = %+v, Analyze = %+v", trial, n, got, want)
+		}
 	}
 }

@@ -100,6 +100,10 @@ func (a Addr) Prev() Addr {
 	return Addr{hi: hi, lo: lo}
 }
 
+// MaxAddr returns the highest address (ff…ff), the top of the address
+// space — the upper bound of an interval table's final gap.
+func MaxAddr() Addr { return Addr{hi: ^uint64(0), lo: ^uint64(0)} }
+
 // Xor returns the bitwise exclusive-or of two addresses, used for
 // similarity metrics in target generation.
 func (a Addr) Xor(b Addr) Addr { return Addr{hi: a.hi ^ b.hi, lo: a.lo ^ b.lo} }

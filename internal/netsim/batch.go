@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"sort"
+
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// This file implements the batched side of the responder: ProbeBatch
+// answers whole probe batches into wire.ResultColumns. Resolution — which
+// aliased region, finite host, or subscriber pool owns a destination —
+// runs over interval-compiled forms of the construction-time tries, so a
+// batch of sorted targets pays one binary search per *run* of addresses
+// sharing a resolution instead of one trie walk per probe (the same
+// flattening the alias plane's Filter uses, see ip6.CompileIntervals).
+// Everything below the resolution step is shared with the per-probe
+// Probe via rawResponse; TestProbeBatchMatchesProbe pins the two paths
+// per-index.
+
+// batchTabs are the interval-compiled lookup tables, built lazily on
+// first ProbeBatch from the immutable world.
+type batchTabs struct {
+	// alias is the most-specific-wins flattening of the alias-region trie.
+	alias []ip6.Interval[*AliasRegion]
+	// nets is the most-specific-wins flattening of the announcement trie
+	// (the networkOf resolution hosts use for loss/path parameters).
+	nets []ip6.Interval[*network]
+	// pools is the SHORTEST-match form of the announcement table: only the
+	// outermost announcements, which are disjoint — subscriber pools hang
+	// off the operator's covering announcement.
+	pools []ip6.Interval[*network]
+}
+
+// batchTables compiles (once) and returns the interval tables.
+func (in *Internet) batchTables() *batchTabs {
+	in.batchOnce.Do(func() {
+		in.batch = &batchTabs{
+			alias: compileLongest(in.regions, func(r *AliasRegion) ip6.Prefix { return r.Prefix }),
+			nets:  compileLongest(in.nets, func(nw *network) ip6.Prefix { return nw.prefix }),
+			pools: compileShortest(in.nets, func(nw *network) ip6.Prefix { return nw.prefix }),
+		}
+	})
+	return in.batch
+}
+
+// compileLongest flattens (prefix → value) entries into the disjoint
+// interval table equivalent to a longest-prefix-match trie. Duplicate
+// prefixes keep the last entry, matching trie insertion order.
+func compileLongest[V comparable](items []V, prefixOf func(V) ip6.Prefix) []ip6.Interval[V] {
+	prefixes, vals := dedupeByPrefix(items, prefixOf)
+	return ip6.CompileIntervals(prefixes, vals)
+}
+
+// compileShortest flattens entries into the SHORTEST-match table: only
+// prefixes not nested inside another entry survive, and since prefixes
+// are nested or disjoint (never partially overlapping), the survivors are
+// disjoint and each covers exactly its own range.
+func compileShortest[V comparable](items []V, prefixOf func(V) ip6.Prefix) []ip6.Interval[V] {
+	prefixes, vals := dedupeByPrefix(items, prefixOf)
+	// dedupeByPrefix returns (base, bits)-sorted entries, so an entry is
+	// outermost iff it is not contained in the last outermost before it.
+	var op []ip6.Prefix
+	var ov []V
+	for i, p := range prefixes {
+		if n := len(op); n > 0 && op[n-1].Contains(p.Addr()) {
+			continue
+		}
+		op = append(op, p)
+		ov = append(ov, vals[i])
+	}
+	return ip6.CompileIntervals(op, ov)
+}
+
+// dedupeByPrefix sorts entries by (base address, prefix length) and drops
+// all but the last entry per exact prefix (trie Insert replaces).
+func dedupeByPrefix[V any](items []V, prefixOf func(V) ip6.Prefix) ([]ip6.Prefix, []V) {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := prefixOf(items[order[a]]), prefixOf(items[order[b]])
+		if c := pa.Addr().Compare(pb.Addr()); c != 0 {
+			return c < 0
+		}
+		return pa.Bits() < pb.Bits()
+	})
+	var prefixes []ip6.Prefix
+	var vals []V
+	for _, oi := range order {
+		p := prefixOf(items[oi])
+		if n := len(prefixes); n > 0 && prefixes[n-1] == p {
+			vals[n-1] = items[oi] // last insertion wins, like the trie
+			continue
+		}
+		prefixes = append(prefixes, p)
+		vals = append(vals, items[oi])
+	}
+	return prefixes, vals
+}
+
+// ivalRun is a cursor over a sorted disjoint interval table that caches
+// the run containing the last query — the interval it hit, or the gap
+// between intervals it missed into. Queries inside the cached run are two
+// address compares; only a run change pays the binary search. This is
+// what makes batched resolution cheap: sorted targets advance through
+// runs monotonically.
+type ivalRun[V any] struct {
+	tab    []ip6.Interval[V]
+	lo, hi ip6.Addr // cached run bounds (inclusive)
+	val    V
+	hit    bool // cached run is an interval (else a gap)
+	valid  bool
+}
+
+func (c *ivalRun[V]) lookup(a ip6.Addr) (V, bool) {
+	if c.valid && !a.Less(c.lo) && a.Compare(c.hi) <= 0 {
+		return c.val, c.hit
+	}
+	var zero V
+	c.val, c.hit, c.valid = zero, false, true
+	i := sort.Search(len(c.tab), func(k int) bool { return a.Compare(c.tab[k].Hi) <= 0 })
+	if i < len(c.tab) && !a.Less(c.tab[i].Lo) {
+		c.lo, c.hi = c.tab[i].Lo, c.tab[i].Hi
+		c.val, c.hit = c.tab[i].Val, true
+		return c.val, true
+	}
+	// A gap: from past the previous interval (or the space's bottom) to
+	// before the next (or the space's top).
+	if i > 0 {
+		c.lo = c.tab[i-1].Hi.Next()
+	} else {
+		c.lo = ip6.Addr{}
+	}
+	if i < len(c.tab) {
+		c.hi = c.tab[i].Lo.Prev()
+	} else {
+		c.hi = ip6.MaxAddr()
+	}
+	return zero, false
+}
+
+// ProbeBatch implements wire.BatchResponder: it answers probe k exactly
+// as Probe(dsts[k], p, day, at[k]) would, writing into out at base+k.
+// Safe for unlimited concurrent use under the same contract as Probe;
+// concurrent calls must target non-overlapping 64-aligned column ranges
+// (see wire.BatchResponder).
+func (in *Internet) ProbeBatch(dsts []ip6.Addr, p wire.Proto, day int, at []wire.Time, out *wire.ResultColumns, base int) {
+	tabs := in.batchTables()
+	aliasRun := ivalRun[*AliasRegion]{tab: tabs.alias}
+	netRun := ivalRun[*network]{tab: tabs.nets}
+	poolRun := ivalRun[*network]{tab: tabs.pools}
+	for k, dst := range dsts {
+		var raw rawResponse
+		handled := false
+		if r, ok := aliasRun.lookup(dst); ok {
+			raw, handled = in.probeAliasRaw(r, dst, p, day, at[k])
+		}
+		if !handled {
+			if i, ok := in.hosts[dst]; ok {
+				nw, _ := netRun.lookup(dst)
+				raw = in.probeHostRaw(&in.hostArr[i], dst, p, day, at[k], nw)
+			} else if nw, ok := poolRun.lookup(dst); ok && nw.isp != nil {
+				raw = in.probeLineRaw(nw, dst, p, day, at[k])
+			}
+		}
+		in.emit(out, base+k, raw, day, at[k])
+	}
+}
+
+// emit writes a rawResponse into column i, interning the TCP fingerprint
+// instead of allocating a TCPInfo.
+func (in *Internet) emit(out *wire.ResultColumns, i int, raw rawResponse, day int, at wire.Time) {
+	if !raw.ok {
+		return
+	}
+	out.OK.Set(i)
+	if out.HopLimit != nil {
+		out.HopLimit[i] = raw.hop
+	}
+	if raw.tcp && out.TCPRef != nil {
+		fp := raw.m.fingerprint()
+		fp.WSize += raw.wsizeAdd
+		fp.MSS -= raw.mssSub
+		out.TCPRef[i] = out.Table.Intern(fp)
+		if present, v := raw.m.tsVal(raw.dstKey, day, at); present {
+			out.TSVal[i] = v
+		}
+	}
+}
+
+var _ wire.BatchResponder = (*Internet)(nil)

@@ -128,19 +128,14 @@ func containsTS(layout string) bool {
 	return false
 }
 
-// tcpAnswer builds the SYN-ACK fingerprint for a probe to dst-hash dstKey
-// at virtual time at on the given day.
-func (m *machine) tcpAnswer(dstKey uint64, day int, at wire.Time) *wire.TCPInfo {
-	info := &wire.TCPInfo{
-		OptionsText: m.optText,
-		MSS:         m.mss,
-		WScale:      m.wscale,
-		WSize:       m.wsize,
-	}
+// tsVal returns whether the machine echoes a TCP timestamp and the value
+// it sends for a probe to dst-hash dstKey at virtual time at on the given
+// day. It is the per-probe part of the fingerprint; everything else about
+// a SYN-ACK is static per machine (see fingerprint).
+func (m *machine) tsVal(dstKey uint64, day int, at wire.Time) (bool, uint32) {
 	if !m.hasTS() {
-		return info
+		return false, 0
 	}
-	info.TSPresent = true
 	// Elapsed virtual seconds since machine boot: days plus microseconds.
 	elapsed := uint64(day)*86_400 + uint64(at)/1_000_000
 	ticks := uint32(elapsed * uint64(m.tsHz))
@@ -148,11 +143,36 @@ func (m *machine) tcpAnswer(dstKey uint64, day int, at wire.Time) *wire.TCPInfo 
 	ticks += uint32(uint64(at) % 1_000_000 * uint64(m.tsHz) / 1_000_000)
 	switch m.tsMode {
 	case tsMonotonic:
-		info.TSVal = m.tsBase + ticks
+		return true, m.tsBase + ticks
 	case tsPerTuple:
-		info.TSVal = uint32(hash2(m.key, dstKey)) + ticks
-	case tsConstant:
-		info.TSVal = m.tsBase
+		return true, uint32(hash2(m.key, dstKey)) + ticks
+	default: // tsConstant
+		return true, m.tsBase
 	}
+}
+
+// fingerprint returns the static SYN-ACK personality in the scan plane's
+// interned vocabulary.
+func (m *machine) fingerprint() wire.TCPFingerprint {
+	return wire.TCPFingerprint{
+		OptionsText: m.optText,
+		MSS:         m.mss,
+		WScale:      m.wscale,
+		WSize:       m.wsize,
+		TSPresent:   m.hasTS(),
+	}
+}
+
+// tcpAnswer builds the SYN-ACK fingerprint for a probe to dst-hash dstKey
+// at virtual time at on the given day — the heap-allocated per-probe form;
+// the batch path interns fingerprint() and writes tsVal into a column.
+func (m *machine) tcpAnswer(dstKey uint64, day int, at wire.Time) *wire.TCPInfo {
+	info := &wire.TCPInfo{
+		OptionsText: m.optText,
+		MSS:         m.mss,
+		WScale:      m.wscale,
+		WSize:       m.wsize,
+	}
+	info.TSPresent, info.TSVal = m.tsVal(dstKey, day, at)
 	return info
 }

@@ -200,6 +200,10 @@ type Internet struct {
 	// machines memoizes fingerprint profiles per machine key; the only
 	// state Probe mutates (append-only, race-free — see machineFor).
 	machines sync.Map // uint64 → machine
+	// batch holds the lazily compiled interval tables of the batched
+	// responder path (see batch.go).
+	batchOnce sync.Once
+	batch     *batchTabs
 }
 
 // New builds the world. Generation cost is O(total hosts); the default
@@ -306,31 +310,70 @@ func (in *Internet) GroundTruthAliased(addr ip6.Addr) bool {
 // arguments, never on probe ordering, so any interleaving of concurrent
 // callers observes identical responses. The concurrent scan engine in
 // internal/probe relies on this contract.
+//
+// Probe is the per-probe semantic reference: it resolves the destination
+// through the construction-time tries. The batched path (ProbeBatch in
+// batch.go) resolves through interval-compiled forms of the same tables
+// and shares every decision below the resolution step, and is pinned
+// per-index against Probe by test.
 func (in *Internet) Probe(dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
 	// 1. Aliased regions (including their special-behaviour quirks).
 	if _, r, ok := in.aliasT.Lookup(dst); ok {
-		if resp, handled := in.probeAlias(r, dst, p, day, at); handled {
-			return resp
+		if raw, handled := in.probeAliasRaw(r, dst, p, day, at); handled {
+			return in.materialize(raw, day, at)
 		}
 	}
 	// 2. Finite hosts.
 	if i, ok := in.hosts[dst]; ok {
-		return in.probeHost(&in.hostArr[i], dst, p, day, at)
+		return in.materialize(in.probeHostRaw(&in.hostArr[i], dst, p, day, at, in.networkOf(dst)), day, at)
 	}
 	// 3. Functional populations: rotating subscriber lines. Pools hang
 	// off the operator's covering announcement, so resolve with the
 	// SHORTEST match (more-specific announcements may overlap the pool).
 	if _, nw, ok := in.netT.LookupShortest(dst); ok && nw.isp != nil {
-		return in.probeLine(nw, dst, p, day, at)
+		return in.materialize(in.probeLineRaw(nw, dst, p, day, at), day, at)
 	}
 	return wire.Response{}
 }
 
-// probeAlias answers probes that land in an aliased region. handled=false
-// means the address is in the region's hole and resolution must continue.
-func (in *Internet) probeAlias(r *AliasRegion, dst ip6.Addr, p wire.Proto, day int, at wire.Time) (wire.Response, bool) {
+// rawResponse is the allocation-free internal probe answer shared by the
+// per-probe and batched paths: the OK flag, the hop limit, and — for TCP
+// probes — the responding machine profile plus the per-probe fingerprint
+// deltas the alias quirks apply. materialize turns it into a wire.Response
+// (heap TCPInfo); the batch emitter writes it straight into result columns
+// with the fingerprint interned instead.
+type rawResponse struct {
+	ok       bool
+	tcp      bool
+	hop      uint8
+	wsizeAdd uint16 // QuirkWSizeVary per-probe window delta
+	mssSub   uint16 // QuirkMSSVary per-address MSS delta
+	m        machine
+	dstKey   uint64
+}
+
+// materialize expands a rawResponse into the per-probe Response form,
+// allocating the TCPInfo the legacy vocabulary carries.
+func (in *Internet) materialize(raw rawResponse, day int, at wire.Time) wire.Response {
+	if !raw.ok {
+		return wire.Response{}
+	}
+	resp := wire.Response{OK: true, HopLimit: raw.hop}
+	if raw.tcp {
+		info := raw.m.tcpAnswer(raw.dstKey, day, at)
+		info.WSize += raw.wsizeAdd
+		info.MSS -= raw.mssSub
+		resp.TCP = info
+	}
+	return resp
+}
+
+// probeAliasRaw answers probes that land in an aliased region.
+// handled=false means the address is in the region's hole and resolution
+// must continue.
+func (in *Internet) probeAliasRaw(r *AliasRegion, dst ip6.Addr, p wire.Proto, day int, at wire.Time) (rawResponse, bool) {
 	if !r.Hole.IsZero() && r.Hole.Contains(dst) {
-		return wire.Response{}, false
+		return rawResponse{}, false
 	}
 	dstKey := hashAddr(in.key, dst)
 	if r.Quirks&QuirkSYNProxy != 0 {
@@ -338,39 +381,39 @@ func (in *Internet) probeAlias(r *AliasRegion, dst ip6.Addr, p wire.Proto, day i
 		// threshold hash says the proxy is in "defence mode" for this
 		// branch. 3-5 of 16 branches respond, differing per day (§5.1).
 		if !p.IsTCP() {
-			return wire.Response{}, true
+			return rawResponse{}, true
 		}
 		branch := dst.Nybble(r.Prefix.Bits() / 4) // first nybble below prefix
 		if !chance(hash3(r.Machine, uint64(day), uint64(branch)), 0.25) {
-			return wire.Response{}, true
+			return rawResponse{}, true
 		}
-		return in.answer(r.Machine, r.quirkedMachine(dstKey), dstKey, p, day, at, r.pathLen(in), false), true
+		return in.answerRaw(r.quirkedMachine(dstKey), dstKey, p, at, r.pathLen(in), false), true
 	}
 	if !r.Serves.Has(p) {
-		return wire.Response{}, true
+		return rawResponse{}, true
 	}
 	// Per-probe loss (plus rate limiting on specific branches per day).
 	if chance(hash3(in.key, dstKey, uint64(day)<<3|uint64(p)), r.Loss) {
-		return wire.Response{}, true
+		return rawResponse{}, true
 	}
 	if r.Quirks&QuirkRateLimit != 0 {
 		branch := dst.Nybble(r.Prefix.Bits() / 4)
 		if chance(hash3(r.Machine^0xacce1, uint64(day)<<5|uint64(p), uint64(branch)), 0.18) {
-			return wire.Response{}, true
+			return rawResponse{}, true
 		}
 	}
-	resp := in.answer(r.Machine, r.quirkedMachine(dstKey), dstKey, p, day, at, r.pathLen(in), r.Quirks&QuirkTTLFlip != 0)
-	if resp.TCP != nil {
+	raw := in.answerRaw(r.quirkedMachine(dstKey), dstKey, p, at, r.pathLen(in), r.Quirks&QuirkTTLFlip != 0)
+	if raw.tcp {
 		if r.Quirks&QuirkWSizeVary != 0 {
 			// Host-state-dependent receive window: varies per probe.
-			resp.TCP.WSize += uint16(hash3(r.Machine, dstKey, uint64(at)) % 5 * 1460)
+			raw.wsizeAdd = uint16(hash3(r.Machine, dstKey, uint64(at)) % 5 * 1460)
 		}
 		if r.Quirks&QuirkMSSVary != 0 && dstKey%5 == 0 {
 			// Some addresses advertise path-specific MSS values.
-			resp.TCP.MSS -= 8
+			raw.mssSub = 8
 		}
 	}
-	return resp, true
+	return raw, true
 }
 
 // quirkedMachine derives the effective machine key for a destination,
@@ -388,22 +431,24 @@ func (r *AliasRegion) pathLen(in *Internet) uint8 {
 	return uint8(3 + hash2(in.key^0x9a70, uint64(r.ASN))%9)
 }
 
-// probeHost answers probes to finite hosts.
-func (in *Internet) probeHost(h *Host, dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
+// probeHostRaw answers probes to finite hosts. nw is the most-specific
+// announcement covering dst (nil if unannounced); the per-probe path
+// resolves it through the network trie, the batch path through the
+// interval table.
+func (in *Internet) probeHostRaw(h *Host, dst ip6.Addr, p wire.Proto, day int, at wire.Time, nw *network) rawResponse {
 	if h.DeathDay >= 0 && day >= int(h.DeathDay) {
-		return wire.Response{}
+		return rawResponse{}
 	}
 	if !h.Serves.Has(p) {
-		return wire.Response{}
+		return rawResponse{}
 	}
 	dstKey := hashAddr(in.key, dst)
 	if h.QUICFlaky && p == wire.UDP443 {
 		// Flapping QUIC deployment: up only on "test days" per address.
 		if !chance(hash3(h.Machine^0x901c, uint64(day), dstKey), 0.75) {
-			return wire.Response{}
+			return rawResponse{}
 		}
 	}
-	nw := in.networkOf(dst)
 	loss, path, jitter := 0.01, uint8(5), false
 	if nw != nil {
 		loss, path, jitter = nw.loss, nw.pathLen, nw.jitter
@@ -411,13 +456,13 @@ func (in *Internet) probeHost(h *Host, dst ip6.Addr, p wire.Proto, day int, at w
 	if h.Class == ClassClient || h.Class == ClassBitnode {
 		// Clients: session windows; see §9.3. Deterministic per (host,day).
 		if !clientOnline(h.Machine, day, at) {
-			return wire.Response{}
+			return rawResponse{}
 		}
 	}
 	if chance(hash3(in.key^0x1055, dstKey, uint64(day)<<3|uint64(p)), loss) {
-		return wire.Response{}
+		return rawResponse{}
 	}
-	return in.answer(h.Machine, h.Machine, dstKey, p, day, at, path, jitter)
+	return in.answerRaw(h.Machine, dstKey, p, at, path, jitter)
 }
 
 // clientOnline models a client's daily uptime window (mean ≈ 8h).
@@ -442,53 +487,56 @@ func clientOnline(key uint64, day int, at wire.Time) bool {
 	return t >= start || t < end-86_400_000_000
 }
 
-// probeLine answers probes into subscriber pools (rotating CPE/clients).
-func (in *Internet) probeLine(nw *network, dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
+// probeLineRaw answers probes into subscriber pools (rotating CPE/clients).
+func (in *Internet) probeLineRaw(nw *network, dst ip6.Addr, p wire.Proto, day int, at wire.Time) rawResponse {
 	isp := nw.isp
 	line, kind, ok := isp.lineAt(dst, day)
 	if !ok {
-		return wire.Response{}
+		return rawResponse{}
 	}
 	dstKey := hashAddr(in.key, dst)
 	switch kind {
 	case lineCPE:
 		if p != wire.ICMPv6 {
-			return wire.Response{}
+			return rawResponse{}
 		}
 		if chance(hash3(in.key^0xc9e, dstKey, uint64(day)), nw.loss+0.02) {
-			return wire.Response{}
+			return rawResponse{}
 		}
-		return in.answer(isp.cpeMachine(line), isp.cpeMachine(line), dstKey, p, day, at, nw.pathLen, nw.jitter)
+		return in.answerRaw(isp.cpeMachine(line), dstKey, p, at, nw.pathLen, nw.jitter)
 	case lineNAS:
 		// Self-hosted servers behind CPE: web panel plus ICMP.
 		if p != wire.ICMPv6 && p != wire.TCP80 {
-			return wire.Response{}
+			return rawResponse{}
 		}
 		mk := isp.cpeMachine(line) ^ 0x4a5
 		if chance(hash3(in.key^0x4a5a, dstKey, uint64(day)<<3|uint64(p)), nw.loss+0.03) {
-			return wire.Response{}
+			return rawResponse{}
 		}
-		return in.answer(mk, mk, dstKey, p, day, at, nw.pathLen+1, nw.jitter)
+		return in.answerRaw(mk, dstKey, p, at, nw.pathLen+1, nw.jitter)
 	case lineClient:
 		if p != wire.ICMPv6 {
-			return wire.Response{}
+			return rawResponse{}
 		}
 		mk := isp.clientMachine(line)
 		// Most residential clients filter inbound ICMPv6 ("outbound
 		// only", RFC 7084): only ~1 in 5 respond at all.
 		if !chance(hash2(mk, 0xf117e8), 0.22) {
-			return wire.Response{}
+			return rawResponse{}
 		}
 		if !clientOnline(mk, day, at) {
-			return wire.Response{}
+			return rawResponse{}
 		}
-		return in.answer(mk, mk, dstKey, p, day, at, nw.pathLen+1, nw.jitter)
+		return in.answerRaw(mk, dstKey, p, at, nw.pathLen+1, nw.jitter)
 	}
-	return wire.Response{}
+	return rawResponse{}
 }
 
-// answer builds a positive response with fingerprint data.
-func (in *Internet) answer(machineKey, effKey, dstKey uint64, p wire.Proto, day int, at wire.Time, path uint8, ttlFlip bool) wire.Response {
+// answerRaw builds a positive answer: hop limit plus, for TCP probes, the
+// machine whose fingerprint the response carries. Timestamp values and
+// TCPInfo materialization are deferred to the emitters (materialize for
+// the per-probe path, the column emitter in batch.go for the batched one).
+func (in *Internet) answerRaw(effKey, dstKey uint64, p wire.Proto, at wire.Time, path uint8, ttlFlip bool) rawResponse {
 	m := in.machineFor(effKey)
 	ittl := m.iTTL
 	if ttlFlip && dstKey&1 == 1 {
@@ -507,11 +555,7 @@ func (in *Internet) answer(machineKey, effKey, dstKey uint64, p wire.Proto, day 
 	if ittl > hops {
 		hl = ittl - hops
 	}
-	resp := wire.Response{OK: true, HopLimit: hl}
-	if p.IsTCP() {
-		resp.TCP = m.tcpAnswer(dstKey, day, at)
-	}
-	return resp
+	return rawResponse{ok: true, tcp: p.IsTCP(), hop: hl, m: m, dstKey: dstKey}
 }
 
 // networkOf returns per-announcement metadata covering addr.

@@ -41,6 +41,12 @@ type Scanner struct {
 	workers   int
 	retries   int // additional attempts for unanswered probes
 	seed      uint64
+	// tcp interns SYN-ACK fingerprints for all columnar scans through
+	// this scanner (see TCPTable).
+	tcp *wire.TCPTable
+	// invPool recycles inverse-permutation buffers (*[]uint32) across
+	// columnar scans for callers without their own scratch.
+	invPool sync.Pool
 }
 
 // Option configures a Scanner.
@@ -82,7 +88,7 @@ func WithSeed(seed uint64) Option {
 
 // New creates a Scanner probing via r.
 func New(r wire.Responder, opts ...Option) *Scanner {
-	s := &Scanner{responder: r, rate: 100_000, workers: 8, retries: 0, seed: 1}
+	s := &Scanner{responder: r, rate: 100_000, workers: 8, retries: 0, seed: 1, tcp: new(wire.TCPTable)}
 	for _, o := range opts {
 		o(s)
 	}
@@ -180,32 +186,19 @@ func (s *Scanner) probeOnce(addr ip6.Addr, proto wire.Proto, day int, at wire.Ti
 // scanner's worker shards (protocols × shards goroutines in flight).
 // Every protocol keeps its own permutation and virtual send-time line, so
 // the result is bit-identical to running the protocols one after another
-// at any worker count; only the mask merge happens after the barrier.
+// at any worker count; only the mask fold happens after the barrier.
 func (s *Scanner) Sweep(targets []ip6.Addr, day int) []wire.RespMask {
 	return s.SweepSeq(ip6.Addrs(targets), day)
 }
 
-// SweepSeq is Sweep over an indexed target view (see ScanSeq).
+// SweepSeq is Sweep over an indexed target view (see ScanSeq). It runs on
+// the batched columnar path: each protocol writes an OK bitset through
+// ScanColumns and the five bitsets fold into the masks word-by-word — no
+// per-protocol []Result is ever materialized (see columns.go).
 func (s *Scanner) SweepSeq(targets ip6.AddrSeq, day int) []wire.RespMask {
-	var perProto [wire.NumProtos][]Result
-	var wg sync.WaitGroup
-	for pi, p := range wire.Protos {
-		wg.Add(1)
-		go func(pi int, p wire.Proto) {
-			defer wg.Done()
-			perProto[pi] = s.ScanSeq(targets, p, day)
-		}(pi, p)
-	}
-	wg.Wait()
-
 	masks := make([]wire.RespMask, targets.Len())
-	for pi, p := range wire.Protos {
-		for i, r := range perProto[pi] {
-			if r.OK {
-				masks[i].Set(p)
-			}
-		}
-	}
+	var bufs sweepBufs
+	s.sweepInto(targets, day, &bufs, masks)
 	return masks
 }
 
@@ -217,16 +210,26 @@ type Pair struct {
 // ProbePairs sends two back-to-back TCP probes with the options module to
 // every target, for fingerprint consistency analysis.
 func (s *Scanner) ProbePairs(targets []ip6.Addr, proto wire.Proto, day int) []Pair {
-	out := make([]Pair, len(targets))
+	return s.ProbePairsSeq(ip6.Addrs(targets), proto, day)
+}
+
+// ProbePairsSeq is ProbePairs over an indexed target view, so columnar
+// callers (the ShardSet's cached sorted view, zero-copy SeqSlice windows)
+// need no flatten-copy. This is the per-probe reference path; the batched
+// twin is ProbePairColumns in columns.go.
+func (s *Scanner) ProbePairsSeq(targets ip6.AddrSeq, proto wire.Proto, day int) []Pair {
+	n := targets.Len()
+	out := make([]Pair, n)
 	iv := s.interval()
-	perm := NewPermutation(len(targets), s.seed^0xfb^uint64(day))
-	s.shard(len(targets), func(lo, hi int) {
+	perm := NewPermutation(n, s.seed^0xfb^uint64(day))
+	s.shard(n, func(lo, hi int) {
 		for seq := lo; seq < hi; seq++ {
 			idx := perm.At(seq)
+			addr := targets.At(idx)
 			at := wire.Time(seq) * iv * 2
 			out[idx] = Pair{
-				First:  s.probeOnce(targets[idx], proto, day, at),
-				Second: s.probeOnce(targets[idx], proto, day, at+iv),
+				First:  s.probeOnce(addr, proto, day, at),
+				Second: s.probeOnce(addr, proto, day, at+iv),
 			}
 		}
 	})
@@ -272,6 +275,23 @@ func NewPermutation(n int, seed uint64) *Permutation {
 
 // At returns the target index at sequence position seq.
 func (p *Permutation) At(seq int) int { return int(p.cache[seq]) }
+
+// Inverse returns inv with inv[idx] = seq such that At(seq) == idx,
+// reusing buf's backing array when it is large enough. The batched scan
+// engine walks targets in index order — sorted views then present the
+// responder with sorted runs — and recovers each probe's virtual send
+// time from its permutation position through this inverse.
+func (p *Permutation) Inverse(buf []uint32) []uint32 {
+	if cap(buf) < p.n {
+		buf = make([]uint32, p.n)
+	} else {
+		buf = buf[:p.n]
+	}
+	for seq, idx := range p.cache {
+		buf[idx] = uint32(seq)
+	}
+	return buf
+}
 
 // Len returns the number of elements.
 func (p *Permutation) Len() int { return p.n }

@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 )
@@ -120,14 +121,23 @@ func NewCondMatrix(names []string) *CondMatrix {
 // Observe records one target's responsiveness vector (resp[i] = protocol i
 // responded).
 func (m *CondMatrix) Observe(resp []bool) {
+	var mask uint32
 	for i, ri := range resp {
-		if !ri {
-			continue
+		if ri {
+			mask |= 1 << i
 		}
-		for j, rj := range resp {
-			if rj {
-				m.joint[i][j]++
-			}
+	}
+	m.ObserveMask(mask)
+}
+
+// ObserveMask is Observe with the responsiveness vector packed into a
+// bitmask (bit i set = protocol i responded) — the form mask-columned
+// scans hold natively, so per-observation []bool expansion disappears.
+func (m *CondMatrix) ObserveMask(resp uint32) {
+	for ri := resp; ri != 0; ri &= ri - 1 {
+		row := m.joint[bits.TrailingZeros32(ri)]
+		for rj := resp; rj != 0; rj &= rj - 1 {
+			row[bits.TrailingZeros32(rj)]++
 		}
 	}
 }

@@ -266,3 +266,28 @@ func TestEntropyBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestObserveMaskMatchesObserve pins the packed-mask observation against
+// the []bool path over every possible 5-protocol mask.
+func TestObserveMaskMatchesObserve(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	ma, mb := NewCondMatrix(names), NewCondMatrix(names)
+	for mask := 0; mask < 1<<5; mask++ {
+		v := make([]bool, 5)
+		for i := range v {
+			v[i] = mask>>i&1 != 0
+		}
+		ma.Observe(v)
+		mb.ObserveMask(uint32(mask))
+	}
+	for _, y := range names {
+		for _, x := range names {
+			if ma.P(y, x) != mb.P(y, x) {
+				t.Fatalf("P(%s|%s): Observe %v vs ObserveMask %v", y, x, ma.P(y, x), mb.P(y, x))
+			}
+		}
+		if ma.Count(y) != mb.Count(y) {
+			t.Fatalf("Count(%s) differs", y)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package wire
 
 import (
 	"fmt"
+	"math/bits"
 
 	"expanse/internal/ip6"
 )
@@ -106,15 +107,7 @@ func (m RespMask) Has(p Proto) bool { return m&(1<<p) != 0 }
 func (m RespMask) Any() bool { return m != 0 }
 
 // Count returns the number of responsive protocols.
-func (m RespMask) Count() int {
-	n := 0
-	for _, p := range Protos {
-		if m.Has(p) {
-			n++
-		}
-	}
-	return n
-}
+func (m RespMask) Count() int { return bits.OnesCount8(uint8(m)) }
 
 // Vector expands the mask to a boolean vector in Protos order, the form
 // the conditional-probability matrix consumes.
