@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	apd [-scale 0.3] [-days 4] [-window 3] [-workers 8] [-murdock]
+//	apd [-scale 0.3] [-days 4] [-window 3] [-workers 8] [-overlap 2] [-murdock]
 package main
 
 import (
@@ -20,6 +20,7 @@ func main() {
 	days := flag.Int("days", 4, "APD probing days")
 	window := flag.Int("window", 3, "sliding window (days)")
 	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
+	overlap := flag.Int("overlap", 0, "day-orchestrator pipeline depth (0 = default, 1 = serial)")
 	murdock := flag.Bool("murdock", false, "also run the Murdock et al. /96 baseline")
 	flag.Parse()
 
@@ -27,15 +28,17 @@ func main() {
 	cfg.Sim.Scale = *scale
 	cfg.APDWindow = *window
 	cfg.Workers = *workers
+	if *overlap > 0 {
+		cfg.Overlap = *overlap
+	}
 	p := core.New(cfg)
 	fmt.Println("collecting hitlist sources…")
 	p.Collect()
 	fmt.Printf("hitlist: %d addresses\n", p.Hitlist().Len())
 
 	day := p.World.Horizon()
-	for d := 0; d < *days; d++ {
-		p.RunAPD(day + d)
-		fmt.Printf("APD day %d: %d candidates probed\n", d, len(p.Candidates()))
+	for _, ep := range p.RunDays(day, *days) {
+		fmt.Printf("APD day %d: %d candidates probed\n", ep.Index, len(ep.Candidates))
 	}
 
 	aliased := p.Filter().AliasedPrefixes()

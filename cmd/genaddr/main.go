@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	genaddr [-scale 0.3] [-budget 1000] [-tool both|eip|6gen] [-workers 8] [-print 0]
+//	genaddr [-scale 0.3] [-budget 1000] [-tool both|eip|6gen] [-workers 8] [-overlap 2] [-print 0]
 package main
 
 import (
@@ -23,18 +23,20 @@ func main() {
 	tool := flag.String("tool", "both", "generator: eip, 6gen, or both")
 	printN := flag.Int("print", 0, "print the first N generated addresses")
 	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
+	overlap := flag.Int("overlap", 0, "day-orchestrator pipeline depth (0 = default, 1 = serial)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Sim.Scale = *scale
 	cfg.Workers = *workers
+	if *overlap > 0 {
+		cfg.Overlap = *overlap
+	}
 	p := core.New(cfg)
 	p.Collect()
 	day := p.World.Horizon()
-	for d := 0; d < cfg.APDWindow; d++ {
-		p.RunAPD(day + d)
-	}
-	clean := p.CleanTargets()
+	epochs := p.RunDays(day, cfg.APDWindow)
+	clean := epochs[len(epochs)-1].CleanTargets()
 	fmt.Printf("non-aliased seed addresses: %d\n", len(clean))
 
 	perAS := map[bgp.ASN][]ip6.Addr{}

@@ -100,6 +100,80 @@ func (h *History) AddIDs(ids []int32, masks []BranchMask) {
 // Len returns the number of recorded days.
 func (h *History) Len() int { return len(h.days) }
 
+// DayColumn is an immutable snapshot of one recorded day's observation
+// column: the per-ID branch masks and the presence bitmap of the probed
+// IDs. A day's column is write-once — AddIDs/Add fill it completely
+// before appending and nothing mutates it afterwards — so the snapshot
+// is a pair of shared slice headers (copy-on-publish without the copy),
+// safe to read from any goroutine while later days are still being
+// appended to the live history. This is the per-day handoff unit of the
+// epoch pipeline: a published epoch pins its day's column (and the
+// window's columns) without holding a reference to the mutable history.
+type DayColumn struct {
+	masks   []BranchMask
+	present bitset
+}
+
+// Width returns the ID-space width the column was recorded at. IDs
+// registered after the day read as absent.
+func (c DayColumn) Width() int { return len(c.masks) }
+
+// Mask returns id's branch mask that day (zero when absent).
+func (c DayColumn) Mask(id int32) BranchMask {
+	if int(id) < len(c.masks) {
+		return c.masks[id]
+	}
+	return 0
+}
+
+// Probed reports whether id was probed that day.
+func (c DayColumn) Probed(id int32) bool { return c.present.get(int(id)) }
+
+// Column returns day di's immutable column snapshot.
+func (h *History) Column(di int) DayColumn {
+	d := h.days[di]
+	return DayColumn{masks: d.masks, present: d.present}
+}
+
+// WindowColumns returns the column snapshots of the sliding window of
+// `window` days TOTAL ending at di (window below 1 clamps to 1), oldest
+// first. Together with MergeColumns this makes the window merge a pure
+// function of immutable snapshots, so a pipeline can evaluate day N-1's
+// window while day N is being probed and appended.
+func (h *History) WindowColumns(di, window int) []DayColumn {
+	if window < 1 {
+		window = 1
+	}
+	lo := windowStart(di, window)
+	out := make([]DayColumn, 0, di-lo+1)
+	for i := lo; i <= di && i < len(h.days); i++ {
+		out = append(out, h.Column(i))
+	}
+	return out
+}
+
+// MergeColumns OR-merges day-column snapshots into a width-nIDs mask
+// array — mask[id] is the union of id's branch masks over the columns —
+// as a chunk-parallel array scan. MergedColumn is this applied to the
+// live history's window; epoch sealing applies it to a draft's pinned
+// window columns. The result is identical for every worker count.
+func MergeColumns(cols []DayColumn, nIDs, workers int) []BranchMask {
+	out := make([]BranchMask, nIDs)
+	chunks(nIDs, workers, func(clo, chi int) {
+		for _, c := range cols {
+			masks := c.masks
+			hi := chi
+			if hi > len(masks) {
+				hi = len(masks)
+			}
+			for id := clo; id < hi; id++ {
+				out[id] |= masks[id]
+			}
+		}
+	})
+	return out
+}
+
 // windowStart returns the first day index of the window ending at di
 // (window already clamped to >= 1).
 func windowStart(di, window int) int {
@@ -139,24 +213,7 @@ func (h *History) MergedAt(p ip6.Prefix, di, window int) BranchMask {
 // a chunk-parallel array OR-scan over the day columns. The result is
 // indexed by prefix ID (CandidateTable IDs when the history is bound).
 func (h *History) MergedColumn(di, window, workers int) []BranchMask {
-	if window < 1 {
-		window = 1
-	}
-	out := make([]BranchMask, len(h.prefixes))
-	lo := windowStart(di, window)
-	chunks(len(out), workers, func(clo, chi int) {
-		for i := lo; i <= di && i < len(h.days); i++ {
-			masks := h.days[i].masks
-			hi := chi
-			if hi > len(masks) {
-				hi = len(masks)
-			}
-			for id := clo; id < hi; id++ {
-				out[id] |= masks[id]
-			}
-		}
-	})
-	return out
+	return MergeColumns(h.WindowColumns(di, window), len(h.prefixes), workers)
 }
 
 // ORDayInto ORs day di's column into dst (indexed by prefix ID), the

@@ -314,9 +314,10 @@ func TestReportsIdenticalAcrossWorkers(t *testing.T) {
 			l.Fig6, l.Fig7, l.Fig8, l.Table8, l.Fig10,
 		}
 	}
-	build := func(workers int) []string {
+	build := func(workers, overlap int) []string {
 		c := cfg
 		c.Workers = workers
+		c.Overlap = overlap
 		l := NewLab(c)
 		var out []string
 		for _, exp := range experiments(l) {
@@ -324,13 +325,17 @@ func TestReportsIdenticalAcrossWorkers(t *testing.T) {
 		}
 		return out
 	}
-	ref := build(1)
-	for _, workers := range []int{4, 16} {
-		got := build(workers)
+	// Reference: one worker, fully serial day loop (overlap depth 1).
+	ref := build(1, 1)
+	for _, tc := range []struct{ workers, overlap int }{
+		{4, 1}, {16, 1}, // data parallelism only
+		{1, 2}, {4, 2}, {16, 3}, // orchestrated day loop on top
+	} {
+		got := build(tc.workers, tc.overlap)
 		for i := range ref {
 			if got[i] != ref[i] {
-				t.Errorf("workers=%d: report %d differs:\nworkers=1:\n%s\nworkers=%d:\n%s",
-					workers, i, ref[i], workers, got[i])
+				t.Errorf("workers=%d overlap=%d: report %d differs:\nserial:\n%s\ngot:\n%s",
+					tc.workers, tc.overlap, i, ref[i], got[i])
 			}
 		}
 	}
@@ -348,24 +353,25 @@ func TestAPDNarrowingEquivalence(t *testing.T) {
 	p.Collect()
 	day := p.World.Horizon()
 	p.RunAPD(day)
+	b := p.Builder()
 	for d := 1; d < 5; d++ {
 		// Old condition over the full history, evaluated on the candidate
 		// set as it stands before the next narrowing.
 		expected := map[ip6.Prefix]bool{}
-		for _, c := range p.candidates {
-			for di := 0; di < p.hist.Len(); di++ {
-				if p.hist.MergedAt(c.Prefix, di, p.hist.Len()).Count() >= 12 {
+		for _, c := range b.cands {
+			for di := 0; di < b.hist.Len(); di++ {
+				if b.hist.MergedAt(c.Prefix, di, b.hist.Len()).Count() >= 12 {
 					expected[c.Prefix] = true
 					break
 				}
 			}
 		}
 		p.RunAPD(day + d)
-		if len(p.candidates) != len(expected) {
+		if len(b.cands) != len(expected) {
 			t.Fatalf("day %d: kept %d candidates, history scan keeps %d",
-				d, len(p.candidates), len(expected))
+				d, len(b.cands), len(expected))
 		}
-		for _, c := range p.candidates {
+		for _, c := range b.cands {
 			if !expected[c.Prefix] {
 				t.Errorf("day %d: kept %v, which the history scan drops", d, c.Prefix)
 			}

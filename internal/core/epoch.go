@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sync"
+
+	"expanse/internal/apd"
+	"expanse/internal/ip6"
+	"expanse/internal/netsim"
+	"expanse/internal/probe"
+	"expanse/internal/sources"
+)
+
+// Epoch is one published day of the daily hitlist service: an immutable,
+// cheaply-shareable snapshot of everything the day's consumers read.
+// The publish point is atomic (Pipeline.publish swaps an RCU pointer),
+// so a reader that obtains an epoch — via Pipeline.Latest or a RunDays
+// result — sees a fully-built, internally-consistent view forever: the
+// hitlist pinned at its sorted mutation epoch (ip6.FrozenView), the
+// interval-compiled alias filter, the per-prefix verdicts, the day's
+// probed candidates with their raw scan masks, the day's history column
+// plus the sliding window it was judged under, and (when the pipeline
+// runs with EpochSweep) the day's responsiveness sweep of the curated
+// targets.
+//
+// All exported fields are read-only after publish. The clean/aliased
+// split of the hitlist is memoized per epoch (logically immutable —
+// computing it twice yields identical bytes), so N concurrent consumers
+// of one epoch pay for one chunk-parallel interval merge.
+type Epoch struct {
+	// Index is the 0-based APD day index — epoch K is the K+1-th
+	// published day since the candidate universe was frozen.
+	Index int
+	// Day is the absolute simulated day the epoch was probed on.
+	Day int
+	// Hitlist pins the sorted hitlist view the epoch was published
+	// against. Later mutations of the live store are invisible here.
+	Hitlist ip6.FrozenView
+	// Filter is the day's interval-compiled longest-prefix-match alias
+	// filter (never nil on a published epoch).
+	Filter *apd.Filter
+	// Verdicts maps each candidate prefix probed this day to its
+	// window-merged aliased verdict. Read-only.
+	Verdicts map[ip6.Prefix]bool
+	// Candidates is the day's probed candidate subset in probe order
+	// (day 0: the full universe; later days: the near-aliased narrowing),
+	// and Probed its raw per-entry branch masks — the day's scan columns
+	// as they came off the wire, before duplicate prefixes OR-merge in
+	// the history. Probed[i] belongs to Candidates[i].
+	Candidates []apd.Candidate
+	Probed     []apd.BranchMask
+	// Column is the day's appended history column; Window holds the
+	// sliding window's column snapshots ending at this day (oldest
+	// first); Merged is the window-merged mask per candidate-table ID.
+	Column apd.DayColumn
+	Window []apd.DayColumn
+	Merged []apd.BranchMask
+	// Scan is the day's five-protocol sweep over the epoch's clean
+	// targets — nil unless the pipeline runs with Config.EpochSweep.
+	Scan *Scan
+
+	workers      int
+	splitOnce    sync.Once
+	splitClean   []ip6.Addr
+	splitAliased []ip6.Addr
+	splitBits    []bool
+}
+
+// Split returns the memoized clean/aliased partition of the epoch's
+// hitlist under the epoch's filter, plus the raw per-address
+// classification aligned with Hitlist.Sorted(). All slices are shared
+// between callers: read-only.
+func (e *Epoch) Split() (clean, aliased []ip6.Addr, bits []bool) {
+	e.splitOnce.Do(func() {
+		e.splitClean, e.splitAliased, e.splitBits =
+			e.Filter.SplitSorted(e.Hitlist.Seq(), e.workers)
+	})
+	return e.splitClean, e.splitAliased, e.splitBits
+}
+
+// CleanTargets returns the epoch's curated hitlist — the pinned sorted
+// view minus aliased addresses. Shared, read-only.
+func (e *Epoch) CleanTargets() []ip6.Addr {
+	clean, _, _ := e.Split()
+	return clean
+}
+
+// AliasedTargets returns the aliased partition of the epoch's hitlist.
+// Shared, read-only.
+func (e *Epoch) AliasedTargets() []ip6.Addr {
+	_, aliased, _ := e.Split()
+	return aliased
+}
+
+// IsAliased reports whether addr falls under an aliased prefix per this
+// epoch's filter.
+func (e *Epoch) IsAliased(addr ip6.Addr) bool { return e.Filter.IsAliased(addr) }
+
+// EpochDraft carries one probed day from the probe chain to the seal
+// stage: the day's candidate subset, its raw scan masks, and pinned
+// window-column snapshots. Every field is immutable once the draft is
+// returned — later ProbeDay calls build fresh narrowing slices and
+// append fresh history columns — which is exactly what lets Seal run
+// concurrently with subsequent probing.
+type EpochDraft struct {
+	index, day int
+	cands      []apd.Candidate
+	candIDs    []int32
+	flat       []apd.BranchMask
+	column     apd.DayColumn
+	window     []apd.DayColumn
+	nIDs       int
+}
+
+// Index returns the draft's 0-based APD day index.
+func (d *EpochDraft) Index() int { return d.index }
+
+// EpochBuilder owns all the mutable state of the day loop that used to
+// smear across Pipeline's fields: the frozen candidate universe, the
+// currently-probed (narrowed) candidate subset, the columnar day
+// history, and the running near-aliased masks. The contract splits each
+// day in two:
+//
+//   - ProbeDay (the probe chain) mutates: it narrows candidates, probes
+//     the day's fan-out targets, appends the history column and updates
+//     the running masks. Calls must come from one goroutine, in day
+//     order.
+//   - Seal (the publish side) only reads immutable draft snapshots and
+//     the post-collection hitlist, so any number of Seal calls may run
+//     concurrently with each other and with later ProbeDay calls.
+//
+// The day orchestrator (sched.go) pipelines the two; the serial
+// Pipeline.RunAPD composes them back to back.
+type EpochBuilder struct {
+	cfg      Config
+	world    *netsim.Internet
+	store    *sources.Store
+	detector *apd.Detector
+	scanner  *probe.Scanner
+
+	table    *apd.CandidateTable
+	cands    []apd.Candidate
+	candIDs  []int32
+	hist     apd.History
+	nearMask []apd.BranchMask
+}
+
+// Days returns how many APD days have been probed so far.
+func (b *EpochBuilder) Days() int { return b.hist.Len() }
+
+// History exposes the builder's live observation history. Callers must
+// not read it concurrently with ProbeDay; published epochs carry
+// immutable column snapshots for that.
+func (b *EpochBuilder) History() *apd.History { return &b.hist }
+
+// ProbeDay runs the probe-chain half of one APD day: on the first call
+// it derives and freezes the candidate universe (hitlist multi-level
+// mapping plus all BGP-announced prefixes); later calls first narrow to
+// prefixes whose running mask is near aliased (>= 12 branches), since a
+// full daily re-derivation would be probe-for-probe identical in the
+// simulator but pointlessly slow (see DESIGN.md). It then probes the
+// day's fan-out targets, appends the history column, and folds it into
+// the running masks. The returned draft is immutable.
+func (b *EpochBuilder) ProbeDay(day int) *EpochDraft {
+	if b.table == nil {
+		cands := apd.HitlistCandidates(b.store.All(), b.cfg.MinTargets)
+		cands = append(cands, apd.BGPCandidates(b.world.Table)...)
+		b.table = apd.NewCandidateTable(cands)
+		b.hist.Bind(b.table)
+		b.nearMask = make([]apd.BranchMask, b.table.NumIDs())
+		b.cands = cands
+		b.candIDs = make([]int32, len(cands))
+		for i := range cands {
+			b.candIDs[i] = b.table.EntryID(i)
+		}
+	} else if b.hist.Len() > 0 {
+		// Narrow to near-aliased prefixes (running mask >= 12 branches).
+		// Fresh slices every day: the previous day's draft keeps the old
+		// ones, so sealed-but-unpublished epochs never see this mutation.
+		narrow := b.cands[:0:0]
+		narrowIDs := b.candIDs[:0:0]
+		for i, c := range b.cands {
+			if b.nearMask[b.candIDs[i]].Count() >= 12 {
+				narrow = append(narrow, c)
+				narrowIDs = append(narrowIDs, b.candIDs[i])
+			}
+		}
+		b.cands, b.candIDs = narrow, narrowIDs
+	}
+	flat := b.detector.ProbeDayFlat(b.cands, day)
+	b.hist.AddIDs(b.candIDs, flat)
+	di := b.hist.Len() - 1
+	b.hist.ORDayInto(di, b.nearMask, b.cfg.Workers)
+	return &EpochDraft{
+		index:   di,
+		day:     day,
+		cands:   b.cands,
+		candIDs: b.candIDs,
+		flat:    flat,
+		column:  b.hist.Column(di),
+		window:  b.hist.WindowColumns(di, b.cfg.APDWindow),
+		nIDs:    b.table.NumIDs(),
+	}
+}
+
+// Seal turns a probed draft into a publish-ready epoch: the window
+// merge over the draft's pinned columns, the verdict map, the interval
+// compilation of the filter, the frozen hitlist pin, and (with
+// Config.EpochSweep) the day's sweep of the curated targets. Seal is a
+// pure function of the draft and the post-collection hitlist — it never
+// touches the builder's mutable state — so seals of different days may
+// run concurrently with each other and with later ProbeDay calls, and
+// the result is byte-identical to the serial loop's for every worker
+// count and overlap depth.
+func (b *EpochBuilder) Seal(d *EpochDraft) *Epoch {
+	merged := apd.MergeColumns(d.window, d.nIDs, b.cfg.Workers)
+	verdicts := make(map[ip6.Prefix]bool, len(d.cands))
+	for i, c := range d.cands {
+		verdicts[c.Prefix] = merged[d.candIDs[i]] == apd.AllBranches
+	}
+	e := &Epoch{
+		Index:      d.index,
+		Day:        d.day,
+		Hitlist:    b.store.All().Freeze(),
+		Filter:     apd.NewFilter(verdicts),
+		Verdicts:   verdicts,
+		Candidates: d.cands,
+		Probed:     d.flat,
+		Column:     d.column,
+		Window:     d.window,
+		Merged:     merged,
+		workers:    b.cfg.Workers,
+	}
+	if b.cfg.EpochSweep {
+		clean := e.CleanTargets()
+		e.Scan = &Scan{
+			Day:   d.day,
+			Addrs: clean,
+			Masks: b.scanner.SweepSeqInto(ip6.Addrs(clean), d.day, nil),
+		}
+	}
+	return e
+}

@@ -50,27 +50,11 @@ type Lab struct {
 
 	collectOnce sync.Once
 
-	// apdMu guards the day counter, the pipeline's mutable APD state and
-	// the window snapshot below.
-	apdMu   sync.Mutex
-	apdDays int // number of APD days run so far
-
-	// Window snapshot: the curated view captured the moment the APD
-	// history first fills Cfg.APDWindow days (the state the paper's daily
-	// hitlist would publish). Later APD days keep extending the history
-	// for the stability study without disturbing these.
-	winFilter   *apd.Filter
-	winVerdicts map[ip6.Prefix]bool
-
-	// Memoized clean/aliased split of the full hitlist under the window
-	// snapshot's filter — Sec53, Fig4, Fig5 and the curated-scan targets
-	// all consume the same split, so it is classified exactly once (the
-	// hitlist is immutable after collection, so lazy evaluation matches
-	// the snapshot the eager split used to take).
-	splitOnce    sync.Once
-	splitBits    []bool // splitBits[i]: sorted-hitlist address i is aliased
-	splitClean   []ip6.Addr
-	splitAliased []ip6.Addr
+	// apdMu guards the published-epoch list and the pipeline's probe
+	// chain (epoch extension is serialized; concurrent experiments just
+	// read the immutable epochs below).
+	apdMu  sync.Mutex
+	epochs []*Epoch // published APD epochs, day order
 
 	scanFullOnce  sync.Once
 	scanFull      *Scan // day-0 sweep over the FULL hitlist (pre-APD view)
@@ -107,56 +91,55 @@ func (l *Lab) ensureAPD() {
 	l.ensureAPDDays(l.P.Cfg.APDWindow)
 }
 
-// ensureAPDDays extends the APD history to at least n days. Extension is
-// serialized, so the day sequence — and the snapshot taken the moment the
-// sliding window fills — is identical no matter which experiments race to
-// extend the history.
+// ensureAPDDays extends the published epoch sequence to at least n days
+// through the day orchestrator (Cfg.Overlap days in flight). Extension
+// is serialized under apdMu, so the day sequence — and the window epoch
+// captured the moment the sliding window fills — is identical no matter
+// which experiments race to extend the history.
 func (l *Lab) ensureAPDDays(n int) {
 	l.ensureCollected()
 	l.apdMu.Lock()
 	defer l.apdMu.Unlock()
-	for ; l.apdDays < n; l.apdDays++ {
-		l.P.RunAPD(l.measureDay() + l.apdDays)
-		if l.apdDays+1 == l.P.Cfg.APDWindow {
-			l.winFilter = l.P.Filter()
-			l.winVerdicts = l.P.Verdicts()
-		}
+	if len(l.epochs) < n {
+		start := l.measureDay() + len(l.epochs)
+		l.epochs = append(l.epochs, l.P.RunDays(start, n-len(l.epochs))...)
 	}
 }
 
-// hitlistSplit returns the memoized clean/aliased partition of the
-// sorted hitlist under the window snapshot's filter, plus the raw
-// per-address classification aligned with Hitlist().Sorted(). Every
-// consumer shares one chunk-parallel interval merge.
+// windowEpoch returns the epoch published the moment the APD history
+// first filled Cfg.APDWindow days — the state the paper's daily hitlist
+// would publish. Later APD days keep extending the history for the
+// stability study without disturbing this snapshot: epochs are
+// immutable, so no lock is needed once the pointer is out.
+func (l *Lab) windowEpoch() *Epoch {
+	l.ensureAPD()
+	l.apdMu.Lock()
+	defer l.apdMu.Unlock()
+	return l.epochs[l.P.Cfg.APDWindow-1]
+}
+
+// hitlistSplit returns the clean/aliased partition of the sorted
+// hitlist under the window epoch's filter, plus the raw per-address
+// classification aligned with Hitlist().Sorted(). The split is memoized
+// on the epoch, so every consumer — Sec53, Fig4, Fig5, the curated-scan
+// targets — shares one chunk-parallel interval merge.
 func (l *Lab) hitlistSplit() (clean, aliased []ip6.Addr, bits []bool) {
-	f := l.filter()
-	l.splitOnce.Do(func() {
-		l.splitClean, l.splitAliased, l.splitBits =
-			f.SplitSorted(l.P.Hitlist().SortedSeq(), l.P.Cfg.Workers)
-	})
-	return l.splitClean, l.splitAliased, l.splitBits
+	return l.windowEpoch().Split()
 }
 
-// cleanTargets returns the curated hitlist of the window snapshot.
+// cleanTargets returns the curated hitlist of the window epoch.
 func (l *Lab) cleanTargets() []ip6.Addr {
-	clean, _, _ := l.hitlistSplit()
-	return clean
+	return l.windowEpoch().CleanTargets()
 }
 
-// filter returns the alias filter of the window snapshot.
+// filter returns the alias filter of the window epoch.
 func (l *Lab) filter() *apd.Filter {
-	l.ensureAPD()
-	l.apdMu.Lock()
-	defer l.apdMu.Unlock()
-	return l.winFilter
+	return l.windowEpoch().Filter
 }
 
-// verdicts returns the per-prefix verdicts of the window snapshot.
+// verdicts returns the per-prefix verdicts of the window epoch.
 func (l *Lab) verdicts() map[ip6.Prefix]bool {
-	l.ensureAPD()
-	l.apdMu.Lock()
-	defer l.apdMu.Unlock()
-	return l.winVerdicts
+	return l.windowEpoch().Verdicts
 }
 
 // unstablePrefixes evaluates the Table 4 metric under the APD mutex, so
@@ -183,7 +166,9 @@ func (l *Lab) ensureScanClean() {
 	})
 }
 
-// maskOf returns the day-0 clean-scan mask for an address.
+// maskIndex builds the scan's full address → responsiveness-mask index
+// (one entry per scanned target), for consumers that look masks up by
+// address rather than walking the columns.
 func (s *Scan) maskIndex() map[ip6.Addr]wire.RespMask {
 	m := make(map[ip6.Addr]wire.RespMask, len(s.Addrs))
 	for i, a := range s.Addrs {

@@ -17,6 +17,7 @@ package core
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"expanse/internal/apd"
 	"expanse/internal/dnssim"
@@ -43,12 +44,24 @@ type Config struct {
 	// concurrency model in DESIGN.md — so this is purely a throughput
 	// knob.
 	Workers int
+	// Overlap is the day orchestrator's pipeline depth: how many APD
+	// days may be in flight at once in RunDays (default 2; 1 degenerates
+	// to the fully serial day loop). Published epochs are byte-identical
+	// for every value — like Workers, purely a throughput knob.
+	Overlap int
+	// EpochSweep, when set, gives every published epoch its own
+	// five-protocol responsiveness sweep over the epoch's curated
+	// targets (Epoch.Scan) — the daily service's published measurement,
+	// and the heavy per-day stage the orchestrator overlaps with the
+	// next day's probing. Off by default: the Lab's experiments schedule
+	// their own sweeps.
+	EpochSweep bool
 }
 
 // DefaultConfig returns the paper-faithful configuration at default
 // simulation scale.
 func DefaultConfig() Config {
-	return Config{Sim: netsim.DefaultConfig(), APDWindow: 3, MinTargets: 100, Workers: 8}
+	return Config{Sim: netsim.DefaultConfig(), APDWindow: 3, MinTargets: 100, Workers: 8, Overlap: 2}
 }
 
 // TestConfig returns a small fast configuration for tests and examples.
@@ -59,7 +72,10 @@ func TestConfig() Config {
 	return cfg
 }
 
-// Pipeline is the assembled system.
+// Pipeline is the assembled system. All mutable day-loop state lives in
+// the EpochBuilder; readers consume immutable Epoch snapshots through
+// Latest (an RCU-style atomic pointer swapped at each day's publish
+// point), so concurrent queries cost a pointer load, never a lock.
 type Pipeline struct {
 	Cfg   Config
 	World *netsim.Internet
@@ -68,24 +84,8 @@ type Pipeline struct {
 
 	scanner  *probe.Scanner
 	detector *apd.Detector
-
-	// APD state, columnar: the day-0 candidate universe is frozen into
-	// table (stable integer IDs per distinct prefix); candidates/candIDs
-	// are the currently probed subset in probe order; the day history and
-	// the running near-aliased masks are arrays indexed by table ID.
-	table      *apd.CandidateTable
-	candidates []apd.Candidate
-	candIDs    []int32
-	hist       apd.History
-	filter     *apd.Filter
-	verdicts   map[ip6.Prefix]bool
-	// nearMask[id] is the running OR of candidate id's daily branch
-	// masks, updated once per probing day by a chunk-parallel column OR.
-	// A candidate is "near aliased" — and worth re-probing on later days —
-	// iff its running mask has >= 12 responding branches, which is exactly
-	// the old O(days) history scan folded into O(1) bookkeeping per day
-	// (masks only ever accumulate under the OR-merge).
-	nearMask []apd.BranchMask
+	builder  *EpochBuilder
+	latest   atomic.Pointer[Epoch]
 }
 
 // New builds the world, the DNS view, and the collectors.
@@ -99,6 +99,9 @@ func New(cfg Config) *Pipeline {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
 	}
+	if cfg.Overlap <= 0 {
+		cfg.Overlap = 1
+	}
 	world := netsim.New(cfg.Sim)
 	dns := dnssim.New(world)
 	st := sources.NewStoreWorkers(cfg.Workers,
@@ -110,7 +113,7 @@ func New(cfg Config) *Pipeline {
 		sources.NewAtlas(world),
 		sources.NewScamper(world),
 	)
-	return &Pipeline{
+	p := &Pipeline{
 		Cfg:      cfg,
 		World:    world,
 		DNS:      dns,
@@ -118,6 +121,14 @@ func New(cfg Config) *Pipeline {
 		scanner:  probe.New(world, probe.WithWorkers(cfg.Workers), probe.WithSeed(uint64(cfg.Sim.Seed))),
 		detector: apd.NewDetectorWorkers(world, cfg.Workers),
 	}
+	p.builder = &EpochBuilder{
+		cfg:      p.Cfg,
+		world:    world,
+		store:    st,
+		detector: p.detector,
+		scanner:  p.scanner,
+	}
+	return p
 }
 
 // Collect runs every collection epoch, building the full hitlist (§3).
@@ -132,58 +143,68 @@ func (p *Pipeline) Collect() {
 // shared: treat it as read-only.
 func (p *Pipeline) Hitlist() *ip6.ShardSet { return p.Store.All() }
 
-// RunAPD performs the day's aliased prefix detection. On the first call
-// it derives the candidate set (hitlist multi-level mapping plus all
-// BGP-announced prefixes); later calls re-probe only prefixes that were
-// close to aliased before — full re-derivation daily would be probe-for-
-// probe identical in the simulator but pointlessly slow (see DESIGN.md).
-func (p *Pipeline) RunAPD(day int) {
-	if p.table == nil {
-		cands := apd.HitlistCandidates(p.Hitlist(), p.Cfg.MinTargets)
-		cands = append(cands, apd.BGPCandidates(p.World.Table)...)
-		p.table = apd.NewCandidateTable(cands)
-		p.hist.Bind(p.table)
-		p.nearMask = make([]apd.BranchMask, p.table.NumIDs())
-		p.candidates = cands
-		p.candIDs = make([]int32, len(cands))
-		for i := range cands {
-			p.candIDs[i] = p.table.EntryID(i)
-		}
-	} else if p.hist.Len() > 0 {
-		// Narrow to near-aliased prefixes (running mask >= 12 branches).
-		narrow := p.candidates[:0:0]
-		narrowIDs := p.candIDs[:0:0]
-		for i, c := range p.candidates {
-			if p.nearMask[p.candIDs[i]].Count() >= 12 {
-				narrow = append(narrow, c)
-				narrowIDs = append(narrowIDs, p.candIDs[i])
-			}
-		}
-		p.candidates, p.candIDs = narrow, narrowIDs
-	}
-	flat := p.detector.ProbeDayFlat(p.candidates, day)
-	p.hist.AddIDs(p.candIDs, flat)
-	di := p.hist.Len() - 1
-	p.hist.ORDayInto(di, p.nearMask, p.Cfg.Workers)
-	merged := p.hist.MergedColumn(di, p.Cfg.APDWindow, p.Cfg.Workers)
-	p.verdicts = make(map[ip6.Prefix]bool, len(p.candidates))
-	for i, c := range p.candidates {
-		p.verdicts[c.Prefix] = merged[p.candIDs[i]] == apd.AllBranches
-	}
-	p.filter = apd.NewFilter(p.verdicts)
+// RunAPD performs one day's aliased prefix detection serially — probe
+// chain and seal back to back — and publishes the resulting epoch. On
+// the first call the builder derives the candidate set (hitlist
+// multi-level mapping plus all BGP-announced prefixes); later calls
+// re-probe only prefixes that were close to aliased before — full
+// re-derivation daily would be probe-for-probe identical in the
+// simulator but pointlessly slow (see DESIGN.md). For multi-day runs,
+// RunDays (sched.go) pipelines the same two halves across days.
+func (p *Pipeline) RunAPD(day int) *Epoch {
+	ep := p.builder.Seal(p.builder.ProbeDay(day))
+	p.publish(ep)
+	return ep
 }
 
-// Filter returns the current alias filter (nil before RunAPD).
-func (p *Pipeline) Filter() *apd.Filter { return p.filter }
+// publish is the epoch publish point: one atomic pointer swap. Readers
+// holding the previous epoch keep a fully-consistent view; new readers
+// see the new day. Epochs must be published in day order (RunAPD and
+// the orchestrator both guarantee this).
+func (p *Pipeline) publish(e *Epoch) { p.latest.Store(e) }
 
-// Verdicts returns the current per-prefix aliased verdicts.
-func (p *Pipeline) Verdicts() map[ip6.Prefix]bool { return p.verdicts }
+// Latest returns the most recently published epoch, RCU-style: a single
+// atomic load, safe from any goroutine, nil before the first APD day.
+// The returned epoch is immutable — hold it as long as needed.
+func (p *Pipeline) Latest() *Epoch { return p.latest.Load() }
 
-// Candidates returns the APD candidate set.
-func (p *Pipeline) Candidates() []apd.Candidate { return p.candidates }
+// Filter returns the latest published epoch's alias filter. It returns
+// nil before the first APD epoch is published — callers that cannot
+// tolerate that should go through Latest and check for nil once.
+func (p *Pipeline) Filter() *apd.Filter {
+	if e := p.Latest(); e != nil {
+		return e.Filter
+	}
+	return nil
+}
 
-// History exposes the APD observation history.
-func (p *Pipeline) History() *apd.History { return &p.hist }
+// Verdicts returns the latest published epoch's per-prefix aliased
+// verdicts (nil before the first epoch). Read-only.
+func (p *Pipeline) Verdicts() map[ip6.Prefix]bool {
+	if e := p.Latest(); e != nil {
+		return e.Verdicts
+	}
+	return nil
+}
+
+// Candidates returns the candidate subset probed on the latest
+// published epoch's day (nil before the first epoch). Read-only.
+func (p *Pipeline) Candidates() []apd.Candidate {
+	if e := p.Latest(); e != nil {
+		return e.Candidates
+	}
+	return nil
+}
+
+// Builder exposes the epoch builder that owns the day loop's mutable
+// state. Probing methods must only be driven from one goroutine at a
+// time; casual consumers want Latest instead.
+func (p *Pipeline) Builder() *EpochBuilder { return p.builder }
+
+// History exposes the live APD observation history. It must not be read
+// concurrently with RunAPD/RunDays; published epochs carry immutable
+// per-day column snapshots for concurrent consumption.
+func (p *Pipeline) History() *apd.History { return &p.builder.hist }
 
 // APDProbesSent reports probe packets spent on APD so far.
 func (p *Pipeline) APDProbesSent() int { return p.detector.ProbesSent }
@@ -298,10 +319,16 @@ func (p *Pipeline) SweepDays(targets []ip6.Addr, day0, days int, fn func(day int
 	p.scanner.SweepDays(ip6.Addrs(targets), day0, days, fn)
 }
 
-// CleanTargets returns the hitlist minus aliased addresses (requires a
-// prior RunAPD), sorted. The hitlist's cached sorted view is classified
-// by the filter's chunk-parallel interval merge, never per-address.
+// CleanTargets returns the latest published epoch's curated hitlist —
+// the epoch's pinned sorted view minus aliased addresses, classified by
+// the filter's chunk-parallel interval merge (memoized per epoch). It
+// requires a published APD epoch and fails loudly — with a descriptive
+// panic rather than an opaque nil dereference — when called before one
+// exists.
 func (p *Pipeline) CleanTargets() []ip6.Addr {
-	clean, _, _ := p.filter.SplitSorted(p.Hitlist().SortedSeq(), p.Cfg.Workers)
-	return clean
+	e := p.Latest()
+	if e == nil {
+		panic("core: CleanTargets called before any APD epoch was published — run RunAPD or RunDays first")
+	}
+	return e.CleanTargets()
 }

@@ -2,6 +2,7 @@ package ip6
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -328,6 +329,46 @@ func (s *ShardSet) EachSorted(fn func(Addr) bool) {
 // SortedSeq returns the cached sorted view as an AddrSeq, for consumers
 // (e.g. the scan engine) that index targets without copying them.
 func (s *ShardSet) SortedSeq() AddrSeq { return Addrs(s.Sorted()) }
+
+// FrozenView is an immutable handle on a ShardSet's sorted view at one
+// mutation epoch. Sorted-view rebuilds always allocate a fresh slice and
+// leave the previous cache intact for existing readers (see
+// rebuildSorted), so a frozen view keeps serving exactly the addresses
+// it was taken over, no matter how the live set mutates afterwards —
+// the pin an epoch snapshot needs so concurrent readers never observe a
+// half-grown hitlist. The zero value is an empty view.
+type FrozenView struct {
+	addrs []Addr
+}
+
+// Freeze captures the current sorted view as an immutable snapshot. The
+// capture costs a cached-view lookup (one incremental rebuild at most,
+// shared with every other sorted-view consumer), never a copy.
+func (s *ShardSet) Freeze() FrozenView { return FrozenView{addrs: s.Sorted()} }
+
+// FrozenOf wraps an already-sorted address slice as a frozen view (test
+// fixtures, ad-hoc snapshots). The slice must not be mutated afterwards.
+func FrozenOf(sorted []Addr) FrozenView { return FrozenView{addrs: sorted} }
+
+// Len returns the number of addresses in the snapshot.
+func (v FrozenView) Len() int { return len(v.addrs) }
+
+// Sorted returns the snapshot's addresses in ascending order. Read-only.
+func (v FrozenView) Sorted() []Addr { return v.addrs }
+
+// Seq returns the snapshot as an indexed sequence.
+func (v FrozenView) Seq() AddrSeq { return Addrs(v.addrs) }
+
+// At returns the i-th address of the snapshot.
+func (v FrozenView) At(i int) Addr { return v.addrs[i] }
+
+// Contains reports membership in the snapshot by binary search. Unlike
+// the live set's Contains it never sees addresses added after Freeze —
+// epoch-consistent reads are the point of the handle.
+func (v FrozenView) Contains(a Addr) bool {
+	i := sort.Search(len(v.addrs), func(k int) bool { return !v.addrs[k].Less(a) })
+	return i < len(v.addrs) && v.addrs[i] == a
+}
 
 // rebuildSorted is the incremental sorted-view build: each shard's
 // unsorted insertion tail is copied and sorted in parallel, the sorted

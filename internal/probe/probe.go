@@ -196,7 +196,24 @@ func (s *Scanner) Sweep(targets []ip6.Addr, day int) []wire.RespMask {
 // ScanColumns and the five bitsets fold into the masks word-by-word — no
 // per-protocol []Result is ever materialized (see columns.go).
 func (s *Scanner) SweepSeq(targets ip6.AddrSeq, day int) []wire.RespMask {
-	masks := make([]wire.RespMask, targets.Len())
+	return s.SweepSeqInto(targets, day, nil)
+}
+
+// SweepSeqInto is SweepSeq writing into a caller-owned mask column:
+// masks is resized to targets.Len() (reallocating only when capacity is
+// short), fully overwritten, and returned. This is the per-day column
+// handoff of the epoch pipeline — each published day keeps its own mask
+// column while the scan scratch (per-protocol OK bitsets, inverse
+// permutations) stays internal to the call. Safe for concurrent use:
+// mask-only sweeps share no scanner state beyond the pooled inverse
+// buffers, so overlapping days may sweep in parallel.
+func (s *Scanner) SweepSeqInto(targets ip6.AddrSeq, day int, masks []wire.RespMask) []wire.RespMask {
+	n := targets.Len()
+	if cap(masks) < n {
+		masks = make([]wire.RespMask, n)
+	} else {
+		masks = masks[:n]
+	}
 	var bufs sweepBufs
 	s.sweepInto(targets, day, &bufs, masks)
 	return masks
