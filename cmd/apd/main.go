@@ -10,9 +10,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"expanse/internal/apd"
 	"expanse/internal/core"
+	"expanse/internal/prof"
 )
 
 func main() {
@@ -22,7 +24,17 @@ func main() {
 	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
 	overlap := flag.Int("overlap", 0, "day-orchestrator pipeline depth (0 = default, 1 = serial)")
 	murdock := flag.Bool("murdock", false, "also run the Murdock et al. /96 baseline")
+	profiles := prof.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	cfg.Sim.Scale = *scale
@@ -37,9 +49,12 @@ func main() {
 	fmt.Printf("hitlist: %d addresses\n", p.Hitlist().Len())
 
 	day := p.World.Horizon()
-	for _, ep := range p.RunDays(day, *days) {
+	// Stream the epochs: the per-day line needs nothing past its own
+	// epoch, and dropping each one keeps long -days runs at the
+	// pipeline's working set instead of retaining every day's filter.
+	p.RunDaysFunc(day, *days, func(ep *core.Epoch) {
 		fmt.Printf("APD day %d: %d candidates probed\n", ep.Index, len(ep.Candidates))
-	}
+	})
 
 	aliased := p.Filter().AliasedPrefixes()
 	fmt.Printf("\naliased prefixes detected: %d (probes sent: %d)\n", len(aliased), p.APDProbesSent())

@@ -17,10 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"expanse/internal/core"
+	"expanse/internal/prof"
 )
 
 type run struct {
@@ -36,18 +36,17 @@ type run struct {
 }
 
 type report struct {
-	Bench        string  `json:"bench"`
-	Scale        float64 `json:"scale"`
-	Days         int     `json:"days"`
-	Workers      int     `json:"workers"`
-	CPUs         int     `json:"cpus"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	HitlistSize  int     `json:"hitlist_size"`
-	CollectSec   float64 `json:"collect_seconds"`
-	SweepSec     float64 `json:"full_sweep_seconds"`
-	SweepTargets int     `json:"full_sweep_targets"`
-	Runs         []run   `json:"runs"`
-	Note         string  `json:"note"`
+	Bench        string        `json:"bench"`
+	Scale        float64       `json:"scale"`
+	Days         int           `json:"days"`
+	Workers      int           `json:"workers"`
+	Host         prof.HostMeta `json:"host"`
+	HitlistSize  int           `json:"hitlist_size"`
+	CollectSec   float64       `json:"collect_seconds"`
+	SweepSec     float64       `json:"full_sweep_seconds"`
+	SweepTargets int           `json:"full_sweep_targets"`
+	Runs         []run         `json:"runs"`
+	Note         string        `json:"note"`
 }
 
 func main() {
@@ -63,11 +62,10 @@ func main() {
 	cfg.EpochSweep = true // seal stage sweeps each day's curated targets
 
 	rep := report{
-		Bench:      "epoch day orchestrator vs serial day loop",
-		Scale:      *scale,
-		Days:       *days,
-		CPUs:       runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench: "epoch day orchestrator vs serial day loop",
+		Scale: *scale,
+		Days:  *days,
+		Host:  prof.Host(),
 	}
 
 	var serial float64

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"expanse/internal/core"
+	"expanse/internal/prof"
 )
 
 func main() {
@@ -28,7 +29,17 @@ func main() {
 	report := flag.String("report", "all", "comma-separated report ids, or 'all'")
 	svgdir := flag.String("svgdir", "", "directory to write zesplot SVGs (optional)")
 	workers := flag.Int("workers", 0, "scan-engine worker shards per protocol (0 = default)")
+	profiles := prof.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	cfg.Sim.Scale = *scale

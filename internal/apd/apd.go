@@ -44,12 +44,21 @@ var DefaultProtocols = []wire.Proto{wire.ICMPv6, wire.TCP80}
 // addresses are deterministic per prefix, so the same targets are probed
 // every day — the sliding window of §5.2 tracks per-address responses.
 func FanOut(p ip6.Prefix) [Branches]ip6.Addr {
+	return fanOutWith(rand.New(rand.NewSource(fanSeed(p))), p)
+}
+
+// fanOutWith is FanOut over a caller-owned generator, reseeded in place.
+// Seeding math/rand fills a 607-word state array; deriving millions of
+// day-0 candidates through fresh sources churned gigabytes of garbage,
+// while reseeding rewrites one array. Output is identical: a reseeded
+// generator is state-for-state a freshly constructed one.
+func fanOutWith(rng *rand.Rand, p ip6.Prefix) [Branches]ip6.Addr {
+	rng.Seed(fanSeed(p))
 	var out [Branches]ip6.Addr
 	sub := p.Bits() + 4
 	if sub > 128 {
 		sub = 128
 	}
-	rng := rand.New(rand.NewSource(fanSeed(p)))
 	for i := 0; i < Branches; i++ {
 		out[i] = p.Subprefix(sub, uint64(i)).RandomAddr(rng)
 	}
@@ -104,6 +113,11 @@ type Detector struct {
 	// reused across probing days (an OK bit per fan-out target is all the
 	// branch merge needs).
 	cols []wire.ResultColumns
+	// fanRNG is the reseeded-per-prefix generator behind fanCache fills;
+	// targets is the flattened fan-out target scratch, reused across days
+	// (day 0 sizes it at the full candidate set; narrowed days reslice).
+	fanRNG  *rand.Rand
+	targets []ip6.Addr
 	// ProbesSent accumulates the number of probe packets sent, for the
 	// bandwidth comparison of §5.5.
 	ProbesSent int
@@ -158,16 +172,21 @@ func (d *Detector) ProbeDayFlat(cands []Candidate, day int) []BranchMask {
 	// Flatten: 16 targets per candidate, probe once per protocol.
 	if d.fanCache == nil {
 		d.fanCache = make(map[ip6.Prefix][Branches]ip6.Addr, len(cands))
+		d.fanRNG = rand.New(rand.NewSource(0))
 	}
-	targets := make([]ip6.Addr, 0, len(cands)*Branches)
+	if want := len(cands) * Branches; cap(d.targets) < want {
+		d.targets = make([]ip6.Addr, 0, want)
+	}
+	targets := d.targets[:0]
 	for _, c := range cands {
 		fo, ok := d.fanCache[c.Prefix]
 		if !ok {
-			fo = FanOut(c.Prefix)
+			fo = fanOutWith(d.fanRNG, c.Prefix)
 			d.fanCache[c.Prefix] = fo
 		}
 		targets = append(targets, fo[:]...)
 	}
+	d.targets = targets
 
 	if d.cols == nil {
 		d.cols = make([]wire.ResultColumns, len(d.protocols))

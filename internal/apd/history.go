@@ -1,6 +1,7 @@
 package apd
 
 import (
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,15 +27,115 @@ type History struct {
 	ids      map[ip6.Prefix]int32
 	prefixes []ip6.Prefix
 	days     []dayColumn
+
+	// forceDense disables the sparse column representation — the memory-
+	// audit baseline knob of the scale benchmarks, and the reference the
+	// sparse/dense equivalence tests compare against. Results are
+	// identical either way; only the footprint differs.
+	forceDense bool
 }
 
-// dayColumn is one day's observation: masks[id] is the branch mask of
-// prefix id (zero when absent), present marks the probed IDs. Columns
-// are sized to the ID space at the time of recording; IDs registered
-// later read as absent via the bounds checks in the scans.
+// dayColumn is one day's observation in one of two layouts, chosen per
+// day by how much of the ID space was probed:
+//
+//   - dense (masks != nil): masks[id] is the branch mask of prefix id
+//     (zero when absent), present marks the probed IDs. Day 0 probes the
+//     whole candidate universe, so its column is dense.
+//   - sparse (masks == nil): ids lists the probed IDs ascending with
+//     their masks in sm. Narrowed days probe a few near-aliased
+//     candidates out of a candidate universe that grows with the
+//     hitlist, so a dense 2-byte-per-ID column per day dominated the
+//     alias plane's footprint at scale — the sparse form costs 6 bytes
+//     per PROBED id instead of 2.125 bytes per REGISTERED id.
+//
+// Columns are sized to the ID space at the time of recording (width);
+// IDs registered later read as absent via the bounds checks in the
+// scans. Both layouts are immutable once appended.
 type dayColumn struct {
 	masks   []BranchMask
 	present bitset
+	ids     []int32
+	sm      []BranchMask
+	width   int
+}
+
+// sparseWorthIt decides the layout: sparse entries cost 6 bytes against
+// a dense column's ~2.125 bytes per ID; the ×4 margin keeps the scans'
+// binary searches off columns that are only moderately narrowed.
+func sparseWorthIt(probed, width int) bool { return probed*4 <= width }
+
+// mask returns id's branch mask that day (zero when absent).
+func (c *dayColumn) mask(id int32) BranchMask {
+	if c.masks != nil {
+		if int(id) < len(c.masks) {
+			return c.masks[id]
+		}
+		return 0
+	}
+	i := sort.Search(len(c.ids), func(k int) bool { return c.ids[k] >= id })
+	if i < len(c.ids) && c.ids[i] == id {
+		return c.sm[i]
+	}
+	return 0
+}
+
+// probed reports whether id was probed that day.
+func (c *dayColumn) probed(id int32) bool {
+	if c.masks != nil {
+		return c.present.get(int(id))
+	}
+	i := sort.Search(len(c.ids), func(k int) bool { return c.ids[k] >= id })
+	return i < len(c.ids) && c.ids[i] == id
+}
+
+// orInto ORs the column's masks into dst for the ID range [lo, hi).
+func (c *dayColumn) orInto(dst []BranchMask, lo, hi int) {
+	if c.masks != nil {
+		m := c.masks
+		if hi > len(m) {
+			hi = len(m)
+		}
+		for id := lo; id < hi; id++ {
+			dst[id] |= m[id]
+		}
+		return
+	}
+	k := sort.Search(len(c.ids), func(i int) bool { return int(c.ids[i]) >= lo })
+	for ; k < len(c.ids) && int(c.ids[k]) < hi; k++ {
+		dst[c.ids[k]] |= c.sm[k]
+	}
+}
+
+// makeColumn builds a day column from (id, mask) observations, OR-merging
+// entries that share an ID (duplicate candidate prefixes), in the layout
+// sparseWorthIt picks for the probed count. The result is a pure function
+// of the observation multiset — input order never shows.
+func makeColumn(ids []int32, masks []BranchMask, width int, forceDense bool) dayColumn {
+	if !forceDense && sparseWorthIt(len(ids), width) {
+		// Sort (id, mask) pairs by ID and OR-merge duplicates.
+		ord := make([]int, len(ids))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool { return ids[ord[a]] < ids[ord[b]] })
+		sids := make([]int32, 0, len(ids))
+		sm := make([]BranchMask, 0, len(ids))
+		for _, i := range ord {
+			if n := len(sids); n > 0 && sids[n-1] == ids[i] {
+				sm[n-1] |= masks[i]
+				continue
+			}
+			sids = append(sids, ids[i])
+			sm = append(sm, masks[i])
+		}
+		return dayColumn{ids: sids, sm: sm, width: width}
+	}
+	col := dayColumn{masks: make([]BranchMask, width), present: newBitset(width), width: width}
+	for i, id := range ids {
+		col.masks[id] |= masks[i]
+		col.present.set(int(id))
+	}
+	return col
 }
 
 // Bind adopts the table's prefix-ID assignment, so day columns recorded
@@ -73,13 +174,13 @@ func (h *History) Add(day map[ip6.Prefix]BranchMask) {
 			}
 		}
 	}
-	col := dayColumn{masks: make([]BranchMask, len(h.prefixes)), present: newBitset(len(h.prefixes))}
+	ids := make([]int32, 0, len(day))
+	masks := make([]BranchMask, 0, len(day))
 	for p, m := range day {
-		id := h.ids[p]
-		col.masks[id] |= m
-		col.present.set(int(id))
+		ids = append(ids, h.ids[p])
+		masks = append(masks, m)
 	}
-	h.days = append(h.days, col)
+	h.days = append(h.days, makeColumn(ids, masks, len(h.prefixes), h.forceDense))
 }
 
 // AddIDs appends one day's observation given pre-resolved prefix IDs:
@@ -89,50 +190,115 @@ func (h *History) AddIDs(ids []int32, masks []BranchMask) {
 	if len(ids) != len(masks) {
 		panic("apd: History.AddIDs length mismatch")
 	}
-	col := dayColumn{masks: make([]BranchMask, len(h.prefixes)), present: newBitset(len(h.prefixes))}
-	for i, id := range ids {
-		col.masks[id] |= masks[i]
-		col.present.set(int(id))
-	}
-	h.days = append(h.days, col)
+	h.days = append(h.days, makeColumn(ids, masks, len(h.prefixes), h.forceDense))
 }
+
+// SetDenseColumns pins the history to dense day columns regardless of
+// how narrowed a day is — the memory-audit baseline knob (cmd/bench7
+// -baseline) and the reference representation of the sparse/dense
+// equivalence tests. Affects only days recorded after the call.
+func (h *History) SetDenseColumns(dense bool) { h.forceDense = dense }
 
 // Len returns the number of recorded days.
 func (h *History) Len() int { return len(h.days) }
 
+// Restore rebuilds a history from a candidate table and previously
+// recorded column snapshots (oldest first) — the resume path of the
+// snapshot plane. Equivalent to Bind followed by replaying the original
+// AddIDs sequence: every scan over the restored history returns exactly
+// what it returned over the live one. Must be called on an empty
+// history.
+func (h *History) Restore(t *CandidateTable, cols []DayColumn) {
+	h.Bind(t)
+	for _, c := range cols {
+		h.days = append(h.days, c.col)
+	}
+}
+
+// MemBytes estimates the history's resident footprint, split into the
+// day columns (dense vs sparse parts) and the prefix index. The split
+// drives the alias-plane rows of the bytes-per-address audit.
+func (h *History) MemBytes() (total, denseCols, sparseCols, index int64) {
+	for i := range h.days {
+		d := &h.days[i]
+		denseCols += int64(cap(d.masks))*2 + int64(cap(d.present))*8
+		sparseCols += int64(cap(d.ids))*4 + int64(cap(d.sm))*2
+	}
+	// Prefix = Addr (16B) + length byte, padded to 24; the id map costs
+	// its 24-byte key + 4-byte value plus bucket overhead (~40B/entry).
+	index = int64(cap(h.prefixes))*24 + int64(len(h.ids))*40
+	return denseCols + sparseCols + index, denseCols, sparseCols, index
+}
+
 // DayColumn is an immutable snapshot of one recorded day's observation
-// column: the per-ID branch masks and the presence bitmap of the probed
-// IDs. A day's column is write-once — AddIDs/Add fill it completely
+// column — dense (per-ID masks plus presence bitmap) or sparse (probed
+// IDs with their masks), matching the live history's layout for that
+// day. A day's column is write-once — AddIDs/Add fill it completely
 // before appending and nothing mutates it afterwards — so the snapshot
-// is a pair of shared slice headers (copy-on-publish without the copy),
+// is a few shared slice headers (copy-on-publish without the copy),
 // safe to read from any goroutine while later days are still being
 // appended to the live history. This is the per-day handoff unit of the
 // epoch pipeline: a published epoch pins its day's column (and the
-// window's columns) without holding a reference to the mutable history.
+// window's columns) without holding a reference to the mutable history,
+// and the snapshot plane (internal/snap) serializes columns through
+// Export/ImportDayColumn.
 type DayColumn struct {
-	masks   []BranchMask
-	present bitset
+	col dayColumn
 }
 
 // Width returns the ID-space width the column was recorded at. IDs
 // registered after the day read as absent.
-func (c DayColumn) Width() int { return len(c.masks) }
+func (c DayColumn) Width() int { return c.col.width }
 
 // Mask returns id's branch mask that day (zero when absent).
-func (c DayColumn) Mask(id int32) BranchMask {
-	if int(id) < len(c.masks) {
-		return c.masks[id]
-	}
-	return 0
-}
+func (c DayColumn) Mask(id int32) BranchMask { return c.col.mask(id) }
 
 // Probed reports whether id was probed that day.
-func (c DayColumn) Probed(id int32) bool { return c.present.get(int(id)) }
+func (c DayColumn) Probed(id int32) bool { return c.col.probed(id) }
+
+// ProbedCount returns how many distinct IDs were probed that day.
+func (c DayColumn) ProbedCount() int {
+	if c.col.masks == nil {
+		return len(c.col.ids)
+	}
+	n := 0
+	for _, w := range c.col.present {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Export returns the column's probed IDs in ascending order with their
+// (OR-merged) masks, plus the recorded ID-space width — the canonical
+// layout-independent form the snapshot codec writes. Both slices are
+// freshly allocated.
+func (c DayColumn) Export() (width int, ids []int32, masks []BranchMask) {
+	if c.col.masks == nil {
+		return c.col.width, append([]int32(nil), c.col.ids...), append([]BranchMask(nil), c.col.sm...)
+	}
+	n := c.ProbedCount()
+	ids = make([]int32, 0, n)
+	masks = make([]BranchMask, 0, n)
+	for id := 0; id < len(c.col.masks); id++ {
+		if c.col.present.get(id) {
+			ids = append(ids, int32(id))
+			masks = append(masks, c.col.masks[id])
+		}
+	}
+	return c.col.width, ids, masks
+}
+
+// ImportDayColumn rebuilds a column snapshot from its exported form,
+// picking the layout the live history would have used. Mask, Probed and
+// every scan over the imported column behave identically to the
+// original — representation is a pure memory decision.
+func ImportDayColumn(width int, ids []int32, masks []BranchMask) DayColumn {
+	return DayColumn{col: makeColumn(ids, masks, width, false)}
+}
 
 // Column returns day di's immutable column snapshot.
 func (h *History) Column(di int) DayColumn {
-	d := h.days[di]
-	return DayColumn{masks: d.masks, present: d.present}
+	return DayColumn{col: h.days[di]}
 }
 
 // WindowColumns returns the column snapshots of the sliding window of
@@ -160,15 +326,8 @@ func (h *History) WindowColumns(di, window int) []DayColumn {
 func MergeColumns(cols []DayColumn, nIDs, workers int) []BranchMask {
 	out := make([]BranchMask, nIDs)
 	chunks(nIDs, workers, func(clo, chi int) {
-		for _, c := range cols {
-			masks := c.masks
-			hi := chi
-			if hi > len(masks) {
-				hi = len(masks)
-			}
-			for id := clo; id < hi; id++ {
-				out[id] |= masks[id]
-			}
+		for i := range cols {
+			cols[i].col.orInto(out, clo, chi)
 		}
 	})
 	return out
@@ -201,9 +360,7 @@ func (h *History) MergedAt(p ip6.Prefix, di, window int) BranchMask {
 	}
 	var m BranchMask
 	for i := windowStart(di, window); i <= di && i < len(h.days); i++ {
-		if int(id) < len(h.days[i].masks) {
-			m |= h.days[i].masks[id]
-		}
+		m |= h.days[i].mask(id)
 	}
 	return m
 }
@@ -220,15 +377,13 @@ func (h *History) MergedColumn(di, window, workers int) []BranchMask {
 // running-mask update of the pipeline's candidate narrowing, chunk-
 // parallel over disjoint ID ranges.
 func (h *History) ORDayInto(di int, dst []BranchMask, workers int) {
-	masks := h.days[di].masks
-	n := len(masks)
+	col := &h.days[di]
+	n := col.width
 	if n > len(dst) {
 		n = len(dst)
 	}
 	chunks(n, workers, func(lo, hi int) {
-		for id := lo; id < hi; id++ {
-			dst[id] |= masks[id]
-		}
+		col.orInto(dst, lo, hi)
 	})
 }
 
@@ -237,7 +392,13 @@ func (h *History) ORDayInto(di int, dst []BranchMask, workers int) {
 func (h *History) presentUnion(di, window int) bitset {
 	u := newBitset(len(h.prefixes))
 	for i := windowStart(di, window); i <= di && i < len(h.days); i++ {
-		u.or(h.days[i].present)
+		if d := &h.days[i]; d.masks != nil {
+			u.or(d.present)
+		} else {
+			for _, id := range d.ids {
+				u.set(int(id))
+			}
+		}
 	}
 	return u
 }
@@ -315,9 +476,7 @@ func (h *History) UnstablePrefixesWorkers(window, workers int) int {
 			for di := start; di < len(h.days); di++ {
 				var m BranchMask
 				for i := windowStart(di, window); i <= di; i++ {
-					if id < len(h.days[i].masks) {
-						m |= h.days[i].masks[id]
-					}
+					m |= h.days[i].mask(int32(id))
 				}
 				cur = m == AllBranches
 				if di > start && cur != prev {

@@ -86,6 +86,48 @@ func TestEpochPipelineGoldens(t *testing.T) {
 	}
 }
 
+// TestRunDaysFuncStreams pins the streaming contract: the callback
+// observes every epoch exactly once, in day order, after the publish
+// point has swapped (Latest is the callback's epoch), and the stream
+// is byte-identical to the slice RunDays returns for the same
+// configuration. The streaming leg also forces periodic collections
+// (ForceGCDays) to pin that the knob is output-neutral.
+func TestRunDaysFuncStreams(t *testing.T) {
+	const days = 5
+	build := func(forceGC int) *Pipeline {
+		cfg := TestConfig()
+		cfg.Sim.Scale = 0.03
+		cfg.Sim.Registry.ASes = 120
+		cfg.Overlap = 2
+		cfg.ForceGCDays = forceGC
+		p := New(cfg)
+		p.Collect()
+		return p
+	}
+	ref := build(0)
+	want := ref.RunDays(ref.World.Horizon(), days)
+
+	p := build(2)
+	var got []string
+	p.RunDaysFunc(p.World.Horizon(), days, func(e *Epoch) {
+		if latest := p.Latest(); latest != e {
+			t.Errorf("epoch %d: Latest() is not the callback's epoch at publish", e.Index)
+		}
+		if e.Index != len(got) {
+			t.Errorf("callback order: got epoch %d at position %d", e.Index, len(got))
+		}
+		got = append(got, epochDigest(e))
+	})
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d epochs, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if d := epochDigest(w); got[i] != d {
+			t.Errorf("epoch %d: streamed digest differs:\nslice:  %s\nstream: %s", i, d, got[i])
+		}
+	}
+}
+
 // TestEpochConcurrentReaders is the -race stress test of the publish
 // point: reader goroutines hammer Pipeline.Latest — filter lookups,
 // memoized clean/aliased splits, sweep-column reads — while the

@@ -15,7 +15,9 @@
 package core
 
 import (
+	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -24,6 +26,7 @@ import (
 	"expanse/internal/ip6"
 	"expanse/internal/netsim"
 	"expanse/internal/probe"
+	"expanse/internal/prof"
 	"expanse/internal/sources"
 	"expanse/internal/wire"
 )
@@ -56,6 +59,22 @@ type Config struct {
 	// next day's probing. Off by default: the Lab's experiments schedule
 	// their own sweeps.
 	EpochSweep bool
+	// SnapshotDir, when non-empty, makes the day loop checkpoint every
+	// probed day into that directory in the internal/snap format; Resume
+	// restarts a run from any checkpointed epoch byte-identically (see
+	// checkpoint.go). Empty by default: no persistence.
+	SnapshotDir string
+	// ForceGCDays, when > 0, forces a full garbage collection on the
+	// probe chain every N probed days. Long runs on large worlds ratchet
+	// the heap goal otherwise: with multi-second concurrent mark phases,
+	// each day's transient scan garbage is allocated black, inflating the
+	// marked-live estimate — and with it the next goal — day after day
+	// until peak RSS far exceeds true live (and any GOMEMLIMIT). A forced
+	// collection from the quiet point between days re-measures live
+	// honestly and resets the ratchet. Purely a memory/throughput knob;
+	// published epochs are byte-identical with or without it. 0 (the
+	// default) never forces a collection.
+	ForceGCDays int
 }
 
 // DefaultConfig returns the paper-faithful configuration at default
@@ -86,6 +105,11 @@ type Pipeline struct {
 	detector *apd.Detector
 	builder  *EpochBuilder
 	latest   atomic.Pointer[Epoch]
+	// snapErr latches the first checkpoint-write error; snapStats tallies
+	// checkpoint writes (both probe-chain goroutine only; read via
+	// SnapshotErr / SnapshotStats).
+	snapErr   error
+	snapStats SnapStats
 }
 
 // New builds the world, the DNS view, and the collectors.
@@ -131,11 +155,16 @@ func New(cfg Config) *Pipeline {
 	return p
 }
 
-// Collect runs every collection epoch, building the full hitlist (§3).
+// Collect runs every collection epoch, building the full hitlist (§3),
+// then compacts the store: the probing phases read sorted views and
+// shard columns, so the per-shard membership maps — the dominant
+// per-address cost of the data plane — are dropped until the next
+// mutation (see ip6.ShardSet.Compact).
 func (p *Pipeline) Collect() {
 	for e := 0; e < p.Cfg.Sim.Epochs; e++ {
 		p.Store.CollectDay(e * p.Cfg.Sim.EpochDays)
 	}
+	p.Store.Compact()
 }
 
 // Hitlist returns the accumulated hitlist — the sharded columnar address
@@ -152,9 +181,27 @@ func (p *Pipeline) Hitlist() *ip6.ShardSet { return p.Store.All() }
 // simulator but pointlessly slow (see DESIGN.md). For multi-day runs,
 // RunDays (sched.go) pipelines the same two halves across days.
 func (p *Pipeline) RunAPD(day int) *Epoch {
-	ep := p.builder.Seal(p.builder.ProbeDay(day))
+	draft := p.builder.ProbeDay(day)
+	if p.Cfg.SnapshotDir != "" {
+		p.saveCheckpoint(draft)
+	}
+	p.maybeForceGC()
+	ep := p.builder.Seal(draft)
 	p.publish(ep)
 	return ep
+}
+
+// maybeForceGC runs the Config.ForceGCDays collection when the probe
+// chain has just finished a multiple-of-N day. Called from the probe
+// chain only (RunAPD and the orchestrator), where the builder's day
+// count is stable.
+func (p *Pipeline) maybeForceGC() {
+	if n := p.Cfg.ForceGCDays; n > 0 && p.builder.Days()%n == 0 {
+		runtime.GC()
+		// Post-collection quiet point: the ideal moment for a mid-run
+		// heap snapshot (no-op unless EXPANSE_HEAPPROF_DIR is set).
+		prof.HeapSnapshotEnv(fmt.Sprintf("day%03d", p.builder.Days()))
+	}
 }
 
 // publish is the epoch publish point: one atomic pointer swap. Readers

@@ -41,15 +41,38 @@ import "sync"
 // epoch. Epochs are published to Pipeline.Latest in day order as they
 // complete, so concurrent readers can consume epoch K while day K+1 is
 // still probing.
+//
+// The returned slice pins every epoch of the run. At large scale each
+// epoch retains its own verdict map, compiled filter and candidate
+// columns (~hundreds of MB per day at scale 16), so a long run's slice
+// can dwarf the pipeline's own working set — callers that only need
+// the stream, or the final day, should use RunDaysFunc and let dead
+// epochs be collected.
 func (p *Pipeline) RunDays(start, n int) []*Epoch {
 	if n <= 0 {
 		return nil
+	}
+	epochs := make([]*Epoch, 0, n)
+	p.RunDaysFunc(start, n, func(e *Epoch) { epochs = append(epochs, e) })
+	return epochs
+}
+
+// RunDaysFunc is RunDays streaming: fn observes each epoch at its
+// publish point — in day order, serially, after Pipeline.Latest has
+// swapped — and the orchestrator keeps no reference of its own
+// afterwards, so an epoch the callback drops becomes garbage as soon
+// as the sliding window moves past its pinned columns. fn runs on the
+// sealing goroutine ahead of the publish of day d+1 and the probe of
+// day d+depth: a slow callback backpressures the pipeline rather than
+// racing it.
+func (p *Pipeline) RunDaysFunc(start, n int, fn func(*Epoch)) {
+	if n <= 0 {
+		return
 	}
 	depth := p.Cfg.Overlap
 	if depth < 1 {
 		depth = 1
 	}
-	epochs := make([]*Epoch, n)
 	published := make([]chan struct{}, n)
 	for i := range published {
 		published[i] = make(chan struct{})
@@ -60,6 +83,13 @@ func (p *Pipeline) RunDays(start, n int) []*Epoch {
 			<-published[d-depth]
 		}
 		draft := p.builder.ProbeDay(start + d)
+		if p.Cfg.SnapshotDir != "" {
+			// Checkpoint on the probe chain: the draft is complete and the
+			// cumulative probe counter is exactly this day's (seals of
+			// earlier days never touch it).
+			p.saveCheckpoint(draft)
+		}
+		p.maybeForceGC()
 		wg.Add(1)
 		go func(d int, draft *EpochDraft) {
 			defer wg.Done()
@@ -67,11 +97,10 @@ func (p *Pipeline) RunDays(start, n int) []*Epoch {
 			if d > 0 {
 				<-published[d-1]
 			}
-			epochs[d] = ep
 			p.publish(ep)
+			fn(ep)
 			close(published[d])
 		}(d, draft)
 	}
 	wg.Wait()
-	return epochs
 }

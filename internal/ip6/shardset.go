@@ -46,6 +46,13 @@ type ShardSet struct {
 
 	sortedMu sync.Mutex
 	sorted   []Addr // cached sorted view; valid iff len == count
+
+	// compacted, when non-nil, points at the sorted view captured by
+	// Compact: the per-shard membership maps are dropped and Contains
+	// binary-searches this snapshot instead. Any mutation clears the
+	// pointer first (see uncompact), so the fast path never serves a
+	// stale view to a caller that could have observed the write.
+	compacted atomic.Pointer[[]Addr]
 }
 
 type shard struct {
@@ -98,10 +105,16 @@ func (s *ShardSet) workerCount() int {
 }
 
 // add inserts a into its shard, reporting whether it was new. Callers
-// hold no locks; the shard lock is taken here.
+// hold no locks; the shard lock is taken here. A nil membership map with
+// populated columns means the shard was compacted: the map is rebuilt
+// from the columns before the insert, so compaction never admits
+// duplicates.
 func (sh *shard) add(a Addr) bool {
 	if sh.m == nil {
-		sh.m = make(map[Addr]struct{})
+		sh.m = make(map[Addr]struct{}, len(sh.hi))
+		for i := range sh.hi {
+			sh.m[Addr{hi: sh.hi[i], lo: sh.lo[i]}] = struct{}{}
+		}
 	}
 	if _, ok := sh.m[a]; ok {
 		return false
@@ -114,6 +127,7 @@ func (sh *shard) add(a Addr) bool {
 
 // Add inserts a, reporting whether it was newly added.
 func (s *ShardSet) Add(a Addr) bool {
+	s.uncompact()
 	sh := &s.shards[shardOf(a)]
 	sh.mu.Lock()
 	isNew := sh.add(a)
@@ -124,14 +138,117 @@ func (s *ShardSet) Add(a Addr) bool {
 	return isNew
 }
 
-// Contains reports membership. It takes only the owning shard's read
-// lock, so lookups scale with readers and never contend across shards.
+// Contains reports membership. On a live set it takes only the owning
+// shard's read lock, so lookups scale with readers and never contend
+// across shards; on a compacted set it binary-searches the captured
+// sorted view without touching any lock.
 func (s *ShardSet) Contains(a Addr) bool {
+	if snap := s.compacted.Load(); snap != nil {
+		sorted := *snap
+		i := sort.Search(len(sorted), func(k int) bool { return !sorted[k].Less(a) })
+		return i < len(sorted) && sorted[i] == a
+	}
 	sh := &s.shards[shardOf(a)]
 	sh.mu.RLock()
-	_, ok := sh.m[a]
+	if sh.m != nil || len(sh.hi) == 0 {
+		_, ok := sh.m[a]
+		sh.mu.RUnlock()
+		return ok
+	}
+	// Compacted shard whose map has not been rebuilt yet (a mutation
+	// cleared the compaction pointer moments ago): rebuild and answer.
 	sh.mu.RUnlock()
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[Addr]struct{}, len(sh.hi))
+		for i := range sh.hi {
+			sh.m[Addr{hi: sh.hi[i], lo: sh.lo[i]}] = struct{}{}
+		}
+	}
+	_, ok := sh.m[a]
+	sh.mu.Unlock()
 	return ok
+}
+
+// Compact drops the per-shard membership maps and the insertion
+// columns' append slack — on a frozen hitlist the sorted column IS the
+// membership structure, and the maps plus growth slack are the dominant
+// per-address cost of the store (see MemBytes). Contains switches to a
+// lock-free binary search over the sorted view captured here; Each,
+// Sorted, ShardSeqs and every other read path are untouched. The set
+// stays fully mutable: the first write after Compact rebuilds the
+// affected shard maps from the insertion columns, at the cost of one
+// pass over the shard. Compact is idempotent and safe to call
+// concurrently with readers (but not with writers, like any mutation).
+func (s *ShardSet) Compact() {
+	sorted := s.Sorted()
+	s.compacted.Store(&sorted)
+	s.clipAndDropMaps()
+}
+
+// CompactCols drops the membership maps and append slack WITHOUT
+// building a sorted view — the compaction flavor for write-complete
+// sets whose remaining readers are columnar (Each, ShardSeqs, Len): a
+// sorted view they never consult would cost 16 bytes per address. A
+// later Contains falls back to a lazy per-shard map rebuild, and a
+// later mutation behaves exactly as after Compact.
+func (s *ShardSet) CompactCols() { s.clipAndDropMaps() }
+
+// clipAndDropMaps releases every shard's membership map and reallocates
+// its insertion columns at exact length (append growth leaves up to ~2×
+// slack on sets built by many small batches).
+func (s *ShardSet) clipAndDropMaps() {
+	runChunks(NumShards, s.workerCount(), func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			sh.m = nil
+			if cap(sh.hi) > len(sh.hi) {
+				sh.hi = append(make([]uint64, 0, len(sh.hi)), sh.hi...)
+			}
+			if cap(sh.lo) > len(sh.lo) {
+				sh.lo = append(make([]uint64, 0, len(sh.lo)), sh.lo...)
+			}
+			sh.mu.Unlock()
+		}
+	})
+}
+
+// Compacted reports whether the set is currently in compacted form.
+func (s *ShardSet) Compacted() bool { return s.compacted.Load() != nil }
+
+// uncompact clears the compaction snapshot before a mutation, so the
+// lock-free Contains fast path cannot serve a view that predates a write
+// the caller already observed. Shard maps rebuild lazily in add.
+func (s *ShardSet) uncompact() {
+	if s.compacted.Load() != nil {
+		s.compacted.Store(nil)
+	}
+}
+
+// mapEntryBytes is the accounting estimate for one map[Addr]struct{}
+// entry: Go's map buckets hold 8 slots of (tophash byte + 16-byte key)
+// plus an overflow pointer, and run at ~²⁄₃ average load — about 28
+// bytes per resident entry. An estimate, not a measurement; MemBytes is
+// for relative plane accounting, pprof is the ground truth.
+const mapEntryBytes = 28
+
+// MemBytes estimates the set's resident heap footprint: insertion
+// columns (by capacity), the cached sorted view if built, and the
+// per-shard membership maps unless compacted away. The breakdown drives
+// the bytes-per-address audit in EXPERIMENTS.md.
+func (s *ShardSet) MemBytes() (total, maps, columns, sortedView int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		columns += int64(cap(sh.hi)+cap(sh.lo)) * 8
+		maps += int64(len(sh.m)) * mapEntryBytes
+		sh.mu.RUnlock()
+	}
+	s.sortedMu.Lock()
+	sortedView = int64(cap(s.sorted)) * 16
+	s.sortedMu.Unlock()
+	return maps + columns + sortedView, maps, columns, sortedView
 }
 
 // Len returns the number of addresses.
@@ -159,6 +276,7 @@ func (s *ShardSet) addBatch(addrs []Addr, collect bool) (int, []Addr) {
 	if n == 0 {
 		return 0, nil
 	}
+	s.uncompact()
 	w := s.workerCount()
 	// Phase 1: each contiguous input chunk buckets its element indices by
 	// shard, in parallel. (Indices fit int32: a batch beyond 2^31
@@ -233,6 +351,7 @@ func (s *ShardSet) addBatch(addrs []Addr, collect bool) (int, []Addr) {
 // Shard assignment is content-determined, so shard i of other feeds only
 // shard i of s and all shards proceed in parallel without cross-locking.
 func (s *ShardSet) AddAll(other *ShardSet) int {
+	s.uncompact()
 	views := other.ShardSeqs()
 	counts := make([]int, NumShards)
 	runChunks(NumShards, s.workerCount(), func(slo, shi int) {

@@ -45,8 +45,15 @@ type Scanner struct {
 	// this scanner (see TCPTable).
 	tcp *wire.TCPTable
 	// invPool recycles inverse-permutation buffers (*[]uint32) across
-	// columnar scans for callers without their own scratch.
-	invPool sync.Pool
+	// columnar scans for callers without their own scratch; permPool does
+	// the same for materialized permutation caches, whose lifetime on the
+	// columnar paths ends once the inverse is built. Recycling matters
+	// beyond allocator throughput: multi-day runs allocate these columns
+	// every (protocol, day), and transient columns marked live during the
+	// GC's concurrent mark phase inflate the next heap goal — on big
+	// worlds that ratchet dominated peak RSS.
+	invPool  sync.Pool
+	permPool sync.Pool
 }
 
 // Option configures a Scanner.
@@ -267,6 +274,13 @@ type Permutation struct {
 
 // NewPermutation builds the permutation for n elements from a seed.
 func NewPermutation(n int, seed uint64) *Permutation {
+	return NewPermutationInto(nil, n, seed)
+}
+
+// NewPermutationInto is NewPermutation with a caller-provided cache
+// buffer, reused when its capacity suffices. The materialized order is
+// a pure function of (n, seed) — identical whatever buf held before.
+func NewPermutationInto(buf []uint32, n int, seed uint64) *Permutation {
 	p := &Permutation{n: n}
 	size := uint64(1)
 	for size < uint64(n) {
@@ -280,7 +294,11 @@ func NewPermutation(n int, seed uint64) *Permutation {
 	// Materialize: the affine walk visits each slot of [0,2^k) once;
 	// indices >= n are skipped. Materializing keeps At() O(1) for the
 	// concurrent workers.
-	p.cache = make([]uint32, 0, n)
+	if cap(buf) >= n {
+		p.cache = buf[:0]
+	} else {
+		p.cache = make([]uint32, 0, n)
+	}
 	for i := uint64(0); i <= p.mask && len(p.cache) < n; i++ {
 		v := (i*p.mul + p.add) & p.mask
 		if v < uint64(n) {
@@ -289,6 +307,10 @@ func NewPermutation(n int, seed uint64) *Permutation {
 	}
 	return p
 }
+
+// Cache exposes the materialized order's backing array for recycling.
+// The permutation must not be used after its cache is handed elsewhere.
+func (p *Permutation) Cache() []uint32 { return p.cache }
 
 // At returns the target index at sequence position seq.
 func (p *Permutation) At(seq int) int { return int(p.cache[seq]) }

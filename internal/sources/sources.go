@@ -260,12 +260,12 @@ func (s *scamperSource) Collect(day int, hitlist *ip6.ShardSet) []ip6.Addr {
 // ShardSets — the hitlist data plane — so per-day dedup, sorted-view
 // construction and attribution fan out over shards.
 type Store struct {
-	sources []Source
-	workers int
-	perSrc  map[string]*ip6.ShardSet // all addresses a source ever produced
-	newSrc  map[string]*ip6.ShardSet // addresses first contributed by a source
-	all     *ip6.ShardSet
-	runup   []RunupPoint
+	sources  []Source
+	workers  int
+	perSrc   map[string]*ip6.ShardSet // all addresses a source ever produced
+	newCount map[string]int           // addresses first contributed by a source
+	all      *ip6.ShardSet
+	runup    []RunupPoint
 }
 
 // RunupPoint is one epoch snapshot of cumulative source sizes (Fig. 1a).
@@ -288,15 +288,14 @@ func NewStoreWorkers(workers int, srcs ...Source) *Store {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	st := &Store{
-		sources: srcs,
-		workers: workers,
-		perSrc:  map[string]*ip6.ShardSet{},
-		newSrc:  map[string]*ip6.ShardSet{},
-		all:     ip6.NewShardSetWorkers(4096, workers),
+		sources:  srcs,
+		workers:  workers,
+		perSrc:   map[string]*ip6.ShardSet{},
+		newCount: map[string]int{},
+		all:      ip6.NewShardSetWorkers(4096, workers),
 	}
 	for _, s := range srcs {
 		st.perSrc[s.Name()] = ip6.NewShardSetWorkers(1024, workers)
-		st.newSrc[s.Name()] = ip6.NewShardSetWorkers(1024, workers)
 	}
 	return st
 }
@@ -304,13 +303,18 @@ func NewStoreWorkers(workers int, srcs ...Source) *Store {
 // CollectDay runs every source for one collection day and accumulates.
 // Sources run in priority order (new-address attribution depends on it);
 // within a source, per-set dedup fans out over shards.
+//
+// New-address attribution is a counter, not a set: an address new to the
+// accumulated hitlist can never become new again (the hitlist is
+// append-only), so the per-source "first contributed" tally needs only
+// AddSlice's new-count — the old per-source ShardSet retained a second
+// full copy of columns and membership map per source for a number that
+// Table 2 reads once.
 func (st *Store) CollectDay(day int) {
 	for _, s := range st.sources {
 		addrs := s.Collect(day, st.all)
 		st.perSrc[s.Name()].AddSlice(addrs)
-		if fresh := st.all.AddSliceCollect(addrs); len(fresh) > 0 {
-			st.newSrc[s.Name()].AddSlice(fresh)
-		}
+		st.newCount[s.Name()] += st.all.AddSlice(addrs)
 	}
 	pt := RunupPoint{Day: day, Cumulative: map[string]int{}, Total: st.all.Len()}
 	for name, set := range st.perSrc {
@@ -325,11 +329,43 @@ func (st *Store) All() *ip6.ShardSet { return st.all }
 // PerSource returns a source's accumulated address set.
 func (st *Store) PerSource(name string) *ip6.ShardSet { return st.perSrc[name] }
 
-// NewPerSource returns the addresses first contributed by the source.
-func (st *Store) NewPerSource(name string) *ip6.ShardSet { return st.newSrc[name] }
+// NewCount returns how many addresses the source was the first to
+// contribute (Table 2's "new" column).
+func (st *Store) NewCount(name string) int { return st.newCount[name] }
 
 // Runup returns the epoch snapshots.
 func (st *Store) Runup() []RunupPoint { return st.runup }
+
+// Compact drops the membership maps and append slack of the accumulated
+// hitlist and every per-source set — after the collection epochs finish,
+// all downstream consumers read sorted views, shard columns, or do point
+// lookups that a binary search serves (see ip6.ShardSet.Compact). The
+// per-source sets use the columnar flavor (CompactCols): their remaining
+// readers are Each/ShardSeqs attribution passes, so building sorted
+// views for them would add 16 bytes per address nobody consults. A
+// later CollectDay transparently rebuilds the maps it touches, so
+// calling Compact between collection and the probing phases is always
+// safe.
+func (st *Store) Compact() {
+	st.all.Compact()
+	for _, set := range st.perSrc {
+		set.CompactCols()
+	}
+}
+
+// MemBytes estimates the store's resident footprint: the accumulated
+// hitlist and the per-source sets, with the membership-map share broken
+// out (the component Compact removes).
+func (st *Store) MemBytes() (total, maps int64) {
+	t, m, _, _ := st.all.MemBytes()
+	total, maps = t, m
+	for _, set := range st.perSrc {
+		t, m, _, _ = set.MemBytes()
+		total += t
+		maps += m
+	}
+	return total, maps
+}
 
 // SourceStat is one row of Table 2.
 type SourceStat struct {
@@ -416,7 +452,7 @@ func (st *Store) Stats(table *bgp.Table) []SourceStat {
 		stat := SourceStat{
 			Name:   s.Name(),
 			IPs:    set.Len(),
-			NewIPs: st.newSrc[s.Name()].Len(),
+			NewIPs: st.newCount[s.Name()],
 		}
 		asCount, pfxCount := attribution(set, table, st.workers)
 		stat.ASes = len(asCount)
