@@ -1,0 +1,149 @@
+// Command expanselint runs the repo's static-analysis suite — the
+// four invariant analyzers of internal/lint plus the //lint:allow
+// bookkeeping — over module packages and exits nonzero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/expanselint ./...          # whole module (CI gate)
+//	go run ./cmd/expanselint ./internal/apd # one package
+//
+// Patterns are module-relative directories; a trailing /... recurses.
+// Non-test files are analyzed (the invariants police the shipped
+// pipeline; tests exercise it). Suppress a finding with an explicit
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or directly above) the flagged line; stale or reason-less allows
+// are themselves findings. See DESIGN.md, "Correctness tooling".
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"expanse/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "expanselint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	modPath, modRoot, err := lint.FindModule(cwd)
+	if err != nil {
+		return err
+	}
+	paths, err := expand(patterns, cwd, modPath, modRoot)
+	if err != nil {
+		return err
+	}
+
+	loader := lint.NewLoader(modPath, modRoot)
+	analyzers := lint.DefaultAnalyzers()
+	total := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return err
+		}
+		for _, d := range lint.RunSuite(pkg, analyzers) {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			total++
+		}
+	}
+	if total > 0 {
+		return fmt.Errorf("%d finding(s) across %d package(s)", total, len(paths))
+	}
+	return nil
+}
+
+// expand resolves directory patterns to module import paths, sorted.
+func expand(patterns []string, cwd, modPath, modRoot string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) error {
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range names {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil {
+			return err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		if !recursive {
+			if err := add(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// testdata holds analyzer fixtures (violations on
+			// purpose); hidden and underscore dirs follow go tool
+			// convention.
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return add(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestTreeIsLintClean is the local mirror of the CI gate: the whole
+// module must run the suite finding-free (modulo in-tree //lint:allow
+// exceptions, which must each still be live and reasoned).
+func TestTreeIsLintClean(t *testing.T) {
+	if err := run([]string{"../../..."}); err != nil {
+		t.Fatalf("expanselint over the tree: %v (findings above)", err)
+	}
+}
+
+// TestExpandPatterns pins pattern expansion: recursion, testdata
+// exclusion, dedup.
+func TestExpandPatterns(t *testing.T) {
+	paths, err := expand([]string{"../../internal/lint/..."}, ".", "expanse", "../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"expanse/internal/lint":          true,
+		"expanse/internal/lint/linttest": true,
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("expand: got %v, want the %d keys of %v (testdata fixtures must be excluded)", paths, len(want), want)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Errorf("unexpected package %q", p)
+		}
+	}
+}

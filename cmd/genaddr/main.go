@@ -15,6 +15,7 @@ import (
 	"expanse/internal/eip"
 	"expanse/internal/ip6"
 	"expanse/internal/sixgen"
+	"expanse/internal/stats"
 )
 
 func main() {
@@ -50,11 +51,17 @@ func main() {
 		min = 20
 	}
 
+	// AS order fixes the generated-address order and with it the sweep's
+	// probe schedule; raw map order would leak into the responsive
+	// counts below.
+	asns := stats.SortedKeys(perAS)
+
 	runTool := func(name string, gen func(seeds []ip6.Addr) []ip6.Addr) {
 		seen := ip6.NewSet(1 << 16)
 		var out []ip6.Addr
 		ases := 0
-		for _, seeds := range perAS {
+		for _, asn := range asns {
+			seeds := perAS[asn]
 			if len(seeds) < min {
 				continue
 			}

@@ -9,4 +9,16 @@
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation; see DESIGN.md for the system
 // inventory and EXPERIMENTS.md for measured-vs-paper results.
+//
+// Contributing: before sending a change, run the repo's own invariant
+// checkers alongside the usual gates —
+//
+//	gofmt -l . && go vet ./... && go test ./...
+//	go run ./cmd/expanselint ./...
+//
+// expanselint machine-checks the three contracts every plane depends
+// on (deterministic output at any worker count, immutable published
+// epochs, allocation-free hot paths) and fails on any finding; exceptions
+// require an explicit "//lint:allow <analyzer> <reason>" comment. See
+// DESIGN.md, "Correctness tooling".
 package expanse

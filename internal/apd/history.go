@@ -176,9 +176,13 @@ func (h *History) Add(day map[ip6.Prefix]BranchMask) {
 	}
 	ids := make([]int32, 0, len(day))
 	masks := make([]BranchMask, 0, len(day))
-	for p, m := range day {
+	// makeColumn OR-merges per ID either way, but feeding it in sorted
+	// prefix order keeps the column build independent of map iteration
+	// (and matches the AddIDs pipeline path, which probes in
+	// ComparePrefix order).
+	for _, p := range ip6.SortedKeys(day) {
 		ids = append(ids, h.ids[p])
-		masks = append(masks, m)
+		masks = append(masks, day[p])
 	}
 	h.days = append(h.days, makeColumn(ids, masks, len(h.prefixes), h.forceDense))
 }

@@ -253,8 +253,12 @@ func (l *Lab) aliasedFingerprintReports() []fingerprint.Report {
 	var reports []fingerprint.Report
 	var cols probe.PairColumns
 	var samples []fingerprint.RefSample
-	for p, aliased := range l.verdicts() {
-		if !aliased || p.Bits() != 64 {
+	// Sorted keys pin the per-prefix probe schedule and the reports
+	// order; Tabulate's sums are order-insensitive, but the probes
+	// themselves should not follow map iteration.
+	verdicts := l.verdicts()
+	for _, p := range ip6.SortedKeys(verdicts) {
+		if !verdicts[p] || p.Bits() != 64 {
 			continue
 		}
 		fo := apd.FanOut(p)
@@ -310,7 +314,8 @@ func (l *Lab) Table6() *Report {
 	var cols probe.PairColumns
 	var samples []fingerprint.RefSample
 	table := l.P.TCPTable()
-	for _, addrs := range per64 {
+	for _, p64 := range ip6.SortedKeys(per64) {
+		addrs := per64[p64]
 		if len(addrs) < 16 {
 			continue
 		}

@@ -3,6 +3,7 @@ package ip6
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -207,4 +208,18 @@ func ComparePrefix(a, b Prefix) int {
 		return int(a.bits) - int(b.bits)
 	}
 	return a.addr.Compare(b.addr)
+}
+
+// SortedKeys returns the keys of a prefix-keyed map in ComparePrefix
+// order. Ranging over a map whose iteration order can reach a report,
+// digest or probe schedule is the repo's canonical determinism bug
+// (expanselint's maporder analyzer flags it); collecting through this
+// helper is the sanctioned pattern.
+func SortedKeys[V any](m map[Prefix]V) []Prefix {
+	keys := make([]Prefix, 0, len(m))
+	for p := range m {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return ComparePrefix(keys[i], keys[j]) < 0 })
+	return keys
 }

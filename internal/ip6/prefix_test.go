@@ -213,3 +213,29 @@ func TestPrefixRandomContainsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSortedKeys pins the maporder-sanctioned helper: ComparePrefix
+// order (length first, then base address), every key exactly once.
+func TestSortedKeys(t *testing.T) {
+	m := map[Prefix]int{
+		MustParsePrefix("2001:db8:2::/48"):   1,
+		MustParsePrefix("2001:db8::/32"):     2,
+		MustParsePrefix("2001:db8:1::/48"):   3,
+		MustParsePrefix("2001:db8::/64"):     4,
+		MustParsePrefix("2001:db8:1::1/128"): 5,
+	}
+	keys := SortedKeys(m)
+	if len(keys) != len(m) {
+		t.Fatalf("SortedKeys: %d keys, want %d", len(keys), len(m))
+	}
+	for i := 1; i < len(keys); i++ {
+		if ComparePrefix(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("SortedKeys out of order at %d: %v then %v", i, keys[i-1], keys[i])
+		}
+	}
+	for _, k := range keys {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("SortedKeys invented key %v", k)
+		}
+	}
+}

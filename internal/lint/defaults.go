@@ -1,0 +1,64 @@
+package lint
+
+// This file is the suite's single source of truth for what the repo
+// considers sealed, deterministic and hot. cmd/expanselint runs
+// DefaultAnalyzers over every package; changing an invariant's scope
+// means changing a table here, in one reviewed place.
+
+// DefaultSealedTypes lists the RCU-published snapshot types and their
+// seal packages. core.Epoch is the published day (Pipeline.Latest);
+// ip6.FrozenView pins the hitlist a published epoch was sealed
+// against; apd.DayColumn and apd.CandidateTable are the write-once
+// history column and frozen candidate universe the window merge reads
+// lock-free.
+var DefaultSealedTypes = []SealedType{
+	{Qualified: "expanse/internal/core.Epoch", SealPkg: "expanse/internal/core"},
+	{Qualified: "expanse/internal/ip6.FrozenView", SealPkg: "expanse/internal/ip6"},
+	{Qualified: "expanse/internal/apd.DayColumn", SealPkg: "expanse/internal/apd"},
+	{Qualified: "expanse/internal/apd.CandidateTable", SealPkg: "expanse/internal/apd"},
+}
+
+// DefaultDetRand scopes detrand to the planes whose outputs must be
+// byte-identical for a fixed seed at any worker count. cmd/bench* and
+// internal/prof measure wall-clock on purpose and are exempt (they are
+// also outside the deterministic set, but the carve-out is explicit so
+// the policy survives future set growth).
+var DefaultDetRand = DetRandConfig{
+	Deterministic: []string{
+		"expanse/internal/core",
+		"expanse/internal/apd",
+		"expanse/internal/probe",
+		"expanse/internal/netsim",
+		"expanse/internal/cluster",
+		"expanse/internal/entropy",
+	},
+	Exempt: []string{
+		"expanse/cmd/bench",
+		"expanse/internal/prof",
+	},
+}
+
+// DefaultHotFuncs designates the per-probe/per-candidate inner loops —
+// the functions PRs 4-7 repeatedly had to de-allocate by profile.
+var DefaultHotFuncs = []HotFunc{
+	{PkgPath: "expanse/internal/probe", Func: "ScanColumns"},
+	{PkgPath: "expanse/internal/probe", Func: "scanColumns"},
+	{PkgPath: "expanse/internal/probe", Func: "scanChunk"},
+	{PkgPath: "expanse/internal/netsim", Func: "ProbeBatch"},
+	{PkgPath: "expanse/internal/netsim", Func: "emit"},
+	{PkgPath: "expanse/internal/apd", Func: "ProbeDayFlat"},
+	{PkgPath: "expanse/internal/apd", Func: "MergeColumns"},
+	{PkgPath: "expanse/internal/wire", Func: "ProbeBatchInto"},
+	{PkgPath: "expanse/internal/ip6", Func: "LookupInterval"},
+	{PkgPath: "expanse/internal/ip6", Func: "CompileIntervals"},
+}
+
+// DefaultAnalyzers returns the full suite wired to the repo tables.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewMapOrder(),
+		NewSealedWrite(DefaultSealedTypes),
+		NewDetRand(DefaultDetRand),
+		NewHotAlloc(DefaultHotFuncs),
+	}
+}

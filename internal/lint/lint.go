@@ -1,0 +1,105 @@
+// Package lint is expanse's static-analysis suite: a small
+// go/analysis-style framework plus the analyzers that machine-check the
+// repo's three standing invariants — byte-identical output at any worker
+// count (maporder, detrand), immutable RCU-published epochs
+// (sealedwrite), and allocation-free hot paths (hotalloc).
+//
+// The framework is deliberately stdlib-only (go/ast, go/parser,
+// go/types): the build environment pins the Go toolchain but carries no
+// module proxy, so golang.org/x/tools/go/analysis is unavailable. The
+// shapes mirror x/tools — an Analyzer owns a Run func over a Pass, a
+// Pass reports Diagnostics — so a future PR with network access can
+// mechanically port the analyzers onto the real driver.
+//
+// Suppressions are explicit in-tree comments:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line (trailing comment) or alone on the line
+// directly above it. The reason is mandatory, and a stale allow — one
+// that no longer suppresses anything — is itself a diagnostic, so the
+// exception inventory can only shrink honestly.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. Run inspects a fully
+// type-checked package through the Pass and reports violations; it must
+// not retain the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package (Path() is the import path).
+	Pkg *types.Package
+	// Info carries Types, Defs, Uses and Selections for every file.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// A Diagnostic is one reported violation, positioned in the file set it
+// was produced from.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiags orders diagnostics by file, line, column, analyzer, message
+// — the deterministic presentation order of the suite.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

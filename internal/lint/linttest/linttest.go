@@ -1,0 +1,143 @@
+// Package linttest runs lint analyzers over testdata fixture packages
+// and checks their diagnostics against // want `regex` comments — the
+// stdlib-only equivalent of golang.org/x/tools/go/analysis/analysistest
+// (unavailable offline; see package lint).
+//
+// Expectations are written on the line they apply to:
+//
+//	for k := range m { // want `range over map`
+//
+// Multiple backquoted regexes on one comment expect multiple
+// diagnostics on that line. Every diagnostic must be expected and
+// every expectation must fire, or the test fails.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"expanse/internal/lint"
+)
+
+// Run loads srcRoot/<pkgPath> (fixture import paths resolve against
+// srcRoot first, then the enclosing module, so fixtures may import
+// real expanse packages), runs the analyzers through the full
+// suppression-aware suite, and diffs diagnostics against want
+// comments.
+func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	diags, pkgDir, err := load(srcRoot, pkgPath, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expectations come only from the package under test; shared
+	// dependency fixtures carry none.
+	wants, err := collectWants(pkgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		hit := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i], hit = true, true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// load type-checks the fixture package and runs the suite, returning
+// the diagnostics and the package's directory.
+func load(srcRoot, pkgPath string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, string, error) {
+	modPath, modRoot, err := lint.FindModule(srcRoot)
+	if err != nil {
+		return nil, "", err
+	}
+	loader := lint.NewLoader(modPath, modRoot)
+	loader.Extra = map[string]string{}
+	err = filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(srcRoot, path)
+				if err != nil {
+					return err
+				}
+				loader.Extra[filepath.ToSlash(rel)] = path
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		return nil, "", err
+	}
+	return lint.RunSuite(pkg, analyzers), pkg.Dir, nil
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// collectWants scans every fixture file under dir for want comments.
+// Scanning raw source lines (rather than the AST) keeps the
+// expectation exactly where the text sits, including inside other
+// comments.
+func collectWants(dir string) ([]want, error) {
+	var wants []want
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return err
+				}
+				wants = append(wants, want{file: path, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}

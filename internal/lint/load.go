@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages for the suite. Standard-
+// library imports resolve through the toolchain's source importer (the
+// environment has no module proxy, so everything type-checks from
+// source); module-local imports resolve against ModuleRoot; Extra maps
+// fixture import paths to directories for linttest.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleRoot string
+	// Extra maps import paths to directories outside the module
+	// (testdata fixture packages). Checked before module resolution.
+	Extra map[string]string
+	// IncludeTests adds _test.go files of the target package itself
+	// (never of dependencies) to the analysis.
+	IncludeTests bool
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module with the given path
+// and directory.
+func NewLoader(modulePath, moduleRoot string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleRoot: moduleRoot,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module path and root directory.
+func FindModule(dir string) (modulePath, moduleRoot string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path to a directory, or "" if the path is not
+// module-local (and not an Extra fixture).
+func (l *Loader) dirFor(path string) string {
+	if d, ok := l.Extra[path]; ok {
+		return d
+	}
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Load parses and type-checks the package with the given import path
+// (module-local or Extra), caching the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("lint: %s is not a module-local package", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// In-package test files share the package; external (_test suffix)
+	// test packages are out of scope for the suite.
+	files = samePackageFiles(files)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var terrs []error
+	cfg := types.Config{
+		Importer: l,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s: %v", path, terrs[0])
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer over the same resolution rules as
+// Load, delegating non-local paths to the toolchain source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.dirFor(path) != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// goFilesIn lists the directory's buildable .go file names, sorted.
+// Test files ride along only when tests is set.
+func goFilesIn(dir string, tests bool) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// samePackageFiles drops files whose package clause differs from the
+// majority clause (external _test packages sharing the directory).
+func samePackageFiles(files []*ast.File) []*ast.File {
+	count := map[string]int{}
+	for _, f := range files {
+		count[f.Name.Name]++
+	}
+	best, bestN := "", 0
+	// Prefer the non-_test clause on ties: sort names for determinism.
+	names := make([]string, 0, len(count))
+	for n := range count {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if count[n] > bestN || (count[n] == bestN && !strings.HasSuffix(n, "_test")) {
+			best, bestN = n, count[n]
+		}
+	}
+	var out []*ast.File
+	for _, f := range files {
+		if f.Name.Name == best {
+			out = append(out, f)
+		}
+	}
+	return out
+}

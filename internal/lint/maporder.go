@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewMapOrder returns the maporder analyzer: a `range` over a map whose
+// loop body feeds an order-sensitive consumer — a formatting/print
+// call, a writer or digest, or an append into a slice that is never
+// sorted afterwards — silently couples output to Go's randomized map
+// iteration order. This is the exact bug class PR 2 fixed by hand in
+// the Fig 8 report; the byte-identical-at-any-worker-count invariant
+// dies the moment one of these ships.
+//
+// Sanctioned patterns pass untouched: pure aggregation (counters, map-
+// to-map writes) and the collect-keys-then-sort idiom, where every
+// append target declared outside the loop is later passed to a sort
+// call (sort.Slice, slices.Sort, a SortedKeys-style helper — any callee
+// whose name contains "sort").
+func NewMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "flags range-over-map iteration whose order can reach an output without an explicit sort",
+	}
+	a.Run = runMapOrder
+	return a
+}
+
+// fmt print-family functions whose output depends on call order.
+var printFamily = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// Method names treated as order-sensitive sinks: writers, digests, and
+// the repo's report builders.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"addf": true, "addln": true,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(p, f, rs)
+			return true
+		})
+	}
+}
+
+func checkMapRange(p *Pass, f *ast.File, rs *ast.RangeStmt) {
+	var sink *ast.CallExpr
+	appends := map[types.Object]bool{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// Nested map ranges get their own diagnostic; don't charge
+		// their sinks to the outer loop too.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs {
+			if t := p.TypeOf(inner.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := appendTarget(p, call); obj != nil {
+			if !within(obj.Pos(), rs) {
+				appends[obj] = true
+			}
+			return true
+		}
+		if sink == nil && isOrderSink(p, call) {
+			sink = call
+		}
+		return true
+	})
+
+	if sink != nil {
+		p.Reportf(rs.Pos(), "range over map feeds %s: iteration order reaches the output; iterate sorted keys instead", calleeName(sink))
+		return
+	}
+	for obj := range appends {
+		if !sortedAfter(p, f, rs, obj) {
+			p.Reportf(rs.Pos(), "range over map appends to %q which is never sorted afterwards: result order follows map iteration; sort it or collect via a SortedKeys helper", obj.Name())
+			return // one diagnostic per range statement
+		}
+	}
+}
+
+// appendTarget returns the object of the slice being grown when call is
+// `append(x, ...)` with x a plain identifier, else nil.
+func appendTarget(p *Pass, call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if b, ok := p.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if arg, ok := call.Args[0].(*ast.Ident); ok {
+		return p.ObjectOf(arg)
+	}
+	return nil
+}
+
+// isOrderSink reports whether the call is an order-sensitive consumer.
+func isOrderSink(p *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := p.ObjectOf(fun.Sel).(*types.Func); ok {
+			sig, _ := obj.Type().(*types.Signature)
+			if sig != nil && sig.Recv() == nil {
+				// Package-level function: the fmt print family.
+				return obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && printFamily[obj.Name()]
+			}
+			return sinkMethods[obj.Name()]
+		}
+	case *ast.Ident:
+		if obj, ok := p.ObjectOf(fun).(*types.Func); ok {
+			return obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && printFamily[obj.Name()]
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort-flavored call
+// after the range statement ends, anywhere in the file (the collect-
+// then-sort idiom keeps both in one function).
+func sortedAfter(p *Pass, f *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(calleeName(call)), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName returns the call's callee name, qualified by its package
+// or receiver identifier when there is one ("sort.Slice", "b.Write").
+func calleeName(call *ast.CallExpr) string {
+	fun := call.Fun
+	if ix, ok := fun.(*ast.IndexExpr); ok { // generic instantiation
+		fun = ix.X
+	}
+	switch fun := fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// mentionsObject reports whether expr references obj anywhere.
+func mentionsObject(p *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// within reports whether pos falls inside the range statement.
+func within(pos token.Pos, rs *ast.RangeStmt) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A SealedType names one published-immutable type and the single
+// package allowed to mutate it (its builder/seal package).
+type SealedType struct {
+	// Qualified is the type's qualified name: "<pkg path>.<type name>".
+	Qualified string
+	// SealPkg is the import path of the only package allowed to write
+	// the type's fields.
+	SealPkg string
+}
+
+// NewSealedWrite returns the sealedwrite analyzer: once an epoch is
+// published through Pipeline.Latest, every reader walks it lock-free
+// under the RCU contract — the only safe mutation is building a fresh
+// value and swinging the pointer. A field write, an element write into
+// a field's slice/map, an append into a field, taking a field's
+// address, or constructing the sealed type wholesale anywhere outside
+// the seal package is a latent torn read for every concurrent consumer
+// (the invariant PR 6's TestEpochConcurrentReaders hammers at runtime;
+// this analyzer catches the write at the line that introduces it).
+func NewSealedWrite(sealed []SealedType) *Analyzer {
+	table := map[string]string{}
+	for _, s := range sealed {
+		table[s.Qualified] = s.SealPkg
+	}
+	a := &Analyzer{
+		Name: "sealedwrite",
+		Doc:  "flags writes to sealed (RCU-published) types outside their builder/seal package",
+	}
+	a.Run = func(p *Pass) { runSealedWrite(p, table) }
+	return a
+}
+
+func runSealedWrite(p *Pass, sealed map[string]string) {
+	here := p.Pkg.Path()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkSealedWrite(p, sealed, here, lhs, "write to")
+				}
+			case *ast.IncDecStmt:
+				checkSealedWrite(p, sealed, here, n.X, "write to")
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					checkSealedWrite(p, sealed, here, n.X, "address of")
+				}
+			case *ast.CompositeLit:
+				if q := qualifiedName(derefType(p.TypeOf(n))); q != "" {
+					if seal, ok := sealed[q]; ok && seal != here {
+						p.Reportf(n.Pos(), "composite literal of sealed type %s outside its seal package %s: published values must come from the builder", q, seal)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSealedWrite walks the expression chain rooted at e (stripping
+// parens, derefs and index steps) and reports every field selection
+// whose receiver is a sealed type mutated outside its seal package.
+func checkSealedWrite(p *Pass, sealed map[string]string, here string, e ast.Expr, verb string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if q := qualifiedName(derefType(sel.Recv())); q != "" {
+					if seal, ok := sealed[q]; ok && seal != here {
+						p.Reportf(x.Pos(), "%s field %s of sealed type %s outside its seal package %s: published epochs are immutable (RCU)", verb, x.Sel.Name, q, seal)
+					}
+				}
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// qualifiedName returns "<pkg path>.<name>" for a named type, else "".
+func qualifiedName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

@@ -1,0 +1,57 @@
+package lint
+
+// RunSuite runs the analyzers over one package and returns the
+// surviving diagnostics: analyzer findings minus those silenced by a
+// matching //lint:allow, plus AllowChecker findings for malformed and
+// stale allow comments. The result is sorted deterministically.
+func RunSuite(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+	allows, out := collectAllows(pkg)
+
+	// An allow silences exactly the named analyzer on exactly its
+	// target line; everything else passes through.
+	for _, d := range raw {
+		suppressed := false
+		for _, al := range allows {
+			if al.analyzer == d.Analyzer && al.pos.Filename == d.Pos.Filename && al.target == d.Pos.Line {
+				al.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	// A stale allow — naming an analyzer that ran but silencing
+	// nothing — is itself a finding, so dead exceptions get cleaned
+	// up instead of accumulating. Allows naming analyzers outside
+	// this run are left alone (linttest runs single analyzers).
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, al := range allows {
+		if al.used || !ran[al.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: AllowChecker,
+			Pos:      al.pos,
+			Message:  "stale //lint:allow " + al.analyzer + ": no diagnostic suppressed on its target line",
+		})
+	}
+	sortDiags(out)
+	return out
+}

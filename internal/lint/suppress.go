@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"strings"
+)
+
+// AllowChecker is the pseudo-analyzer name under which malformed and
+// stale //lint:allow comments are reported. It cannot itself be
+// suppressed: the exception inventory stays honest.
+const AllowChecker = "allowcheck"
+
+const allowPrefix = "//lint:allow"
+
+// An allow is one parsed //lint:allow comment.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	// target is the source line the allow suppresses: its own line for
+	// a trailing comment, the next line for a standalone one.
+	target int
+	used   bool
+}
+
+// collectAllows parses every //lint:allow comment in the package.
+// Malformed comments (missing analyzer or reason) are reported
+// immediately under AllowChecker.
+func collectAllows(pkg *Package) (allows []*allow, malformed []Diagnostic) {
+	for _, f := range pkg.Files {
+		var src []byte // lazily read, only for files that carry allows
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				// A nested // starts commentary about the allow
+				// itself (fixture want annotations); the reason ends
+				// there.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: AllowChecker,
+						Pos:      pos,
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				if src == nil {
+					src, _ = os.ReadFile(pos.Filename)
+				}
+				target := pos.Line
+				if standaloneAt(src, pos.Offset) {
+					target = pos.Line + 1
+				}
+				allows = append(allows, &allow{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
+					target:   target,
+				})
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// standaloneAt reports whether the comment starting at offset is the
+// first non-whitespace content on its source line (so it annotates the
+// line below rather than trailing code on its own line).
+func standaloneAt(src []byte, offset int) bool {
+	if offset > len(src) {
+		return true
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}

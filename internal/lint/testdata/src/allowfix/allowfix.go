@@ -1,0 +1,72 @@
+// Package allowfix is the suppression-mechanism fixture: an allow
+// comment silences exactly the named analyzer on exactly the annotated
+// line; everything else — wrong analyzer, wrong line, stale allows,
+// missing reasons — still surfaces. The analyzer set for this fixture
+// is maporder plus detrand (with this package in its Deterministic
+// set).
+package allowfix
+
+import (
+	"fmt"
+	"time"
+)
+
+// trailingAllow: the allow rides the flagged line and names the right
+// analyzer: silenced.
+func trailingAllow() int64 {
+	return time.Now().UnixNano() //lint:allow detrand fixture exercises trailing suppression
+}
+
+// standaloneAllow: the allow sits alone on the line above the flagged
+// one: silenced.
+func standaloneAllow() int64 {
+	//lint:allow detrand fixture exercises standalone suppression
+	return time.Now().UnixNano()
+}
+
+// wrongAnalyzer: the allow names maporder, so the detrand diagnostic
+// survives — and the maporder allow, silencing nothing, is stale.
+func wrongAnalyzer() int64 {
+	//lint:allow maporder names the wrong analyzer // want `stale //lint:allow maporder`
+	return time.Now().UnixNano() // want `time.Now in deterministic plane`
+}
+
+// wrongLine: an allow one line too early targets the blank statement,
+// not the violation: the diagnostic survives, the allow goes stale.
+func wrongLine() int64 {
+	//lint:allow detrand targets the wrong line // want `stale //lint:allow detrand`
+	_ = 0
+	return time.Now().UnixNano() // want `time.Now in deterministic plane`
+}
+
+// exactLine: with two violations on adjacent lines, the allow silences
+// only its own line.
+func exactLine() (int64, int64) {
+	a := time.Now().UnixNano() //lint:allow detrand fixture pins per-line exactness
+	b := time.Now().UnixNano() // want `time.Now in deterministic plane`
+	return a, b
+}
+
+// crossAnalyzer: a maporder violation and its allow coexist with the
+// detrand run — no cross-talk between analyzers.
+func crossAnalyzer(m map[string]int) string {
+	out := ""
+	//lint:allow maporder fixture proves allows are per-analyzer
+	for k, v := range m {
+		out += fmt.Sprintf("%s=%d", k, v)
+	}
+	return out
+}
+
+// staleAllow annotates a line with no diagnostic at all.
+func staleAllow() int {
+	//lint:allow detrand nothing to suppress here // want `stale //lint:allow detrand`
+	return 42
+}
+
+// missingReason: an allow without a reason is malformed — every
+// exception must be documented.
+func missingReason() int {
+	//lint:allow detrand // want `malformed //lint:allow`
+	return time.Now().Nanosecond() // want `time.Now in deterministic plane`
+}

@@ -1,0 +1,59 @@
+// Package detrand is the detrand fixture: nondeterminism sources
+// inside a deterministic plane (the analyzer runs with this package
+// path in its Deterministic set), next to the sanctioned seeded-
+// generator pattern the repo uses everywhere.
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// badWallClock leaks the wall clock into plane state — the bug class
+// that silently skews a day's probe schedule between two runs.
+func badWallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic plane`
+}
+
+// badGlobalRand draws from the process-wide source: shared across
+// goroutines, order-dependent, worker-count-dependent.
+func badGlobalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand.Intn in deterministic plane`
+}
+
+// badGlobalShuffle is the worst case: output order directly from the
+// global source.
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle in deterministic plane`
+}
+
+// badUnseeded constructs a generator whose seed comes from the global
+// source — "unseeded" by laundering.
+func badUnseeded() *rand.Rand {
+	return rand.New(rand.NewSource(rand.Int63())) // want `global math/rand.Int63 in deterministic plane`
+}
+
+// badCryptoRand reads hardware entropy.
+func badCryptoRand(buf []byte) {
+	_, _ = crand.Read(buf) // want `crypto/rand.Read in deterministic plane`
+}
+
+// goodSeeded is the sanctioned pattern: an explicit seed threads
+// through, identical on every run.
+func goodSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// goodMethodCalls on a seeded generator are fine: only the package-
+// level global functions are flagged.
+func goodMethodCalls(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// goodDuration does arithmetic on time values without sampling the
+// clock.
+func goodDuration(d time.Duration) float64 {
+	return d.Seconds()
+}

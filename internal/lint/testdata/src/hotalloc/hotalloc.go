@@ -1,0 +1,60 @@
+// Package hotalloc is the hotalloc fixture: the allocation regressions
+// PRs 4-7 hunted by profile — per-probe Addr.String keys, fmt in
+// responders, per-iteration scratch — written into a designated hot
+// function (the analyzer runs with ScanColumns and MergeColumns of
+// this package in its hot table), next to a cold function where the
+// same constructs are fine and the hoisted patterns that keep hot
+// paths clean.
+package hotalloc
+
+import (
+	"fmt"
+
+	"expanse/internal/ip6"
+)
+
+// ScanColumns is a designated hot function.
+func ScanColumns(targets []ip6.Addr, out map[string]int) {
+	for _, a := range targets {
+		key := a.String() // want `Addr.String in hot path ScanColumns`
+		out[key]++
+		buf := make([]byte, 16) // want `make allocates per iteration in hot path ScanColumns`
+		_ = buf
+		scratch := []int{1, 2, 3} // want `composite literal allocates per iteration in hot path ScanColumns`
+		_ = scratch
+	}
+}
+
+// MergeColumns is a designated hot function: formatting is flagged
+// even outside a loop, and per-iteration string building is flagged in
+// one.
+func MergeColumns(ids []int) string {
+	header := fmt.Sprintf("n=%d", len(ids)) // want `fmt.Sprintf in hot path MergeColumns`
+	for _, id := range ids {
+		header = header + string(rune(id)) // want `string concatenation allocates per iteration in hot path MergeColumns`
+	}
+	return header
+}
+
+// coldHelper is not in the hot table: identical constructs pass.
+func coldHelper(targets []ip6.Addr) []string {
+	var out []string
+	for _, a := range targets {
+		out = append(out, fmt.Sprintf("%s", a.String()))
+	}
+	return out
+}
+
+// goodHoisted shows the sanctioned shape: scratch allocated once
+// before the loop, reused inside it.
+func goodHoisted(targets []ip6.Addr) int {
+	scratch := make([]byte, 0, 64)
+	n := 0
+	for _, a := range targets {
+		scratch = scratch[:0]
+		if a.Hi()|a.Lo() != 0 {
+			n++
+		}
+	}
+	return n + cap(scratch)
+}

@@ -1,0 +1,113 @@
+// Package maporder is the maporder fixture: the PR 2 bug class, where
+// the Fig 8 report inherited map-iteration order and shipped a
+// different byte stream on every run, next to the sanctioned
+// collect-then-sort idiom that fixed it.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// badReportLine is the historical Fig 8 shape: report text built
+// directly while ranging a map.
+func badReportLine(counts map[string]int) string {
+	out := ""
+	for k, v := range counts { // want `range over map feeds fmt.Sprintf`
+		out += fmt.Sprintf("%s=%d ", k, v)
+	}
+	return out
+}
+
+// badWriter feeds a strings.Builder (an order-sensitive sink) from a
+// map range.
+func badWriter(set map[int]bool) string {
+	var b strings.Builder
+	for k := range set { // want `range over map feeds b.WriteString`
+		b.WriteString(fmt.Sprint(k))
+	}
+	return b.String()
+}
+
+// badCollect gathers keys but never sorts them: the slice order is the
+// map order.
+func badCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// goodCollect is the sanctioned idiom: collect, then sort, then emit.
+func goodCollect(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d ", k, m[k])
+	}
+	return out
+}
+
+// goodSortSlice collects key/value pairs and sorts with sort.Slice —
+// the exact shape of the repo's top-ASes report path.
+func goodSortSlice(m map[string]int) []string {
+	type kv struct {
+		k string
+		v int
+	}
+	var list []kv
+	for k, v := range m {
+		list = append(list, kv{k, v})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].k < list[j].k })
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.k
+	}
+	return out
+}
+
+// goodAggregate only folds order-insensitive state out of the map.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodMapToMap rebuckets into another map: no order reaches any
+// output.
+func goodMapToMap(m map[string]int) map[int]int {
+	inv := map[int]int{}
+	for _, v := range m {
+		inv[v]++
+	}
+	return inv
+}
+
+// goodSliceRange ranges a slice, not a map: slice order is
+// deterministic.
+func goodSliceRange(xs []string) string {
+	out := ""
+	for _, x := range xs {
+		out += fmt.Sprintf("%s ", x)
+	}
+	return out
+}
+
+// innerCollect appends to a slice declared inside the loop iteration:
+// per-iteration locals carry no cross-iteration order.
+func innerCollect(m map[string][]int, sink func([]int)) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		sink(local)
+	}
+}

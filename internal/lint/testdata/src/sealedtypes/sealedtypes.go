@@ -1,0 +1,27 @@
+// Package sealedtypes models the repo's RCU-published snapshot types
+// (core.Epoch and friends) for the sealedwrite fixture: exported
+// fields, built and sealed here, immutable everywhere else.
+package sealedtypes
+
+// Epoch mirrors core.Epoch: a published, immutable day snapshot.
+type Epoch struct {
+	Index    int
+	Verdicts map[string]bool
+	Masks    []uint16
+	Column   Column
+}
+
+// Column mirrors apd.DayColumn: a write-once history column.
+type Column struct {
+	Width int
+}
+
+// Build is the seal package's builder: writes here are sanctioned.
+func Build(n int) *Epoch {
+	e := &Epoch{Index: n}
+	e.Verdicts = map[string]bool{}
+	e.Verdicts["p"] = true
+	e.Masks = append(e.Masks, 1)
+	e.Column.Width = n
+	return e
+}

@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/bits"
@@ -356,4 +357,18 @@ func Entropy4(counts *[16]int) float64 {
 		h -= p * math.Log2(p)
 	}
 	return h / 4
+}
+
+// SortedKeys returns the map's keys in ascending order — the sanctioned
+// way to iterate a map whose order could otherwise leak into a report
+// or digest (expanselint's maporder analyzer flags the raw range).
+// Prefix-keyed maps have their own ip6.SortedKeys in ComparePrefix
+// order.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }

@@ -291,3 +291,19 @@ func TestObserveMaskMatchesObserve(t *testing.T) {
 		}
 	}
 }
+
+// TestSortedKeys pins the ordered-key helper the maporder analyzer
+// points violators at.
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b"}
+	got := SortedKeys(m)
+	want := []int{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+}
