@@ -16,6 +16,10 @@ var DefaultSealedTypes = []SealedType{
 	{Qualified: "expanse/internal/ip6.FrozenView", SealPkg: "expanse/internal/ip6"},
 	{Qualified: "expanse/internal/apd.DayColumn", SealPkg: "expanse/internal/apd"},
 	{Qualified: "expanse/internal/apd.CandidateTable", SealPkg: "expanse/internal/apd"},
+	// netsim.Internet is the sealed columnar world plane: sorted host
+	// columns, flat net/region/ISP columns. Only construction (inside the
+	// package) writes it; every probe-time reader depends on the freeze.
+	{Qualified: "expanse/internal/netsim.Internet", SealPkg: "expanse/internal/netsim"},
 }
 
 // DefaultDetRand scopes detrand to the planes whose outputs must be
@@ -46,6 +50,12 @@ var DefaultHotFuncs = []HotFunc{
 	{PkgPath: "expanse/internal/probe", Func: "scanChunk"},
 	{PkgPath: "expanse/internal/netsim", Func: "ProbeBatch"},
 	{PkgPath: "expanse/internal/netsim", Func: "emit"},
+	// The columnar world plane's resolution primitives: the sorted-column
+	// binary searches and the batch-path merge cursors (hostRun.lookup and
+	// ivalRun.lookup both match "lookup" — both are per-probe hot).
+	{PkgPath: "expanse/internal/netsim", Func: "find"},
+	{PkgPath: "expanse/internal/netsim", Func: "search"},
+	{PkgPath: "expanse/internal/netsim", Func: "lookup"},
 	{PkgPath: "expanse/internal/apd", Func: "ProbeDayFlat"},
 	{PkgPath: "expanse/internal/apd", Func: "MergeColumns"},
 	{PkgPath: "expanse/internal/wire", Func: "ProbeBatchInto"},

@@ -14,6 +14,8 @@ const src = "testdata/src"
 var fixtureSealed = []lint.SealedType{
 	{Qualified: "sealedtypes.Epoch", SealPkg: "sealedtypes"},
 	{Qualified: "sealedtypes.Column", SealPkg: "sealedtypes"},
+	{Qualified: "sealedtypes.World", SealPkg: "sealedtypes"},
+	{Qualified: "sealedtypes.Net", SealPkg: "sealedtypes"},
 }
 
 // fixtureDetRand marks the detrand fixtures deterministic, with the
@@ -41,6 +43,13 @@ func TestSealedWrite(t *testing.T) {
 // the seal package the builder writes freely — zero diagnostics.
 func TestSealedWriteBuilder(t *testing.T) {
 	linttest.Run(t, src, "sealedtypes", lint.NewSealedWrite(fixtureSealed))
+}
+
+// TestSealedWriteWorld pins the columnar-world half of the fixture: the
+// post-seal mutations (column patches, rank swaps, topology rewires)
+// that the netsim.Internet entry in DefaultSealedTypes exists to catch.
+func TestSealedWriteWorld(t *testing.T) {
+	linttest.Run(t, src, "worldseal", lint.NewSealedWrite(fixtureSealed))
 }
 
 func TestDetRand(t *testing.T) {

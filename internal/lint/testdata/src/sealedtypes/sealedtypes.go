@@ -16,6 +16,20 @@ type Column struct {
 	Width int
 }
 
+// World mirrors netsim.Internet's sealed columnar plane: sorted address
+// columns, an insertion-order permutation, and flat topology columns
+// addressed by dense IDs. Built here, frozen everywhere else.
+type World struct {
+	Lo     []uint64
+	ByRank []int32
+	Nets   []Net
+}
+
+// Net mirrors one row of the flat network column.
+type Net struct {
+	ISP int32
+}
+
 // Build is the seal package's builder: writes here are sanctioned.
 func Build(n int) *Epoch {
 	e := &Epoch{Index: n}
@@ -24,4 +38,15 @@ func Build(n int) *Epoch {
 	e.Masks = append(e.Masks, 1)
 	e.Column.Width = n
 	return e
+}
+
+// BuildWorld seals a world: sorts the columns, fixes the permutation.
+func BuildWorld(n int) *World {
+	w := &World{}
+	for i := 0; i < n; i++ {
+		w.Lo = append(w.Lo, uint64(n-i))
+		w.ByRank = append(w.ByRank, int32(i))
+		w.Nets = append(w.Nets, Net{ISP: -1})
+	}
+	return w
 }

@@ -1,0 +1,61 @@
+// Package worldseal is the world-plane half of the sealedwrite fixture:
+// the mutations a consumer of the sealed columnar world (sorted host
+// columns, flat topology columns) must never perform after New returns,
+// next to the reads that stay legal. The analyzer runs with
+// sealedtypes.World and sealedtypes.Net sealed to package sealedtypes.
+package worldseal
+
+import "sealedtypes"
+
+// badColumnWrite patches a sorted address column element in place —
+// breaking the binary-search invariant every lookup depends on.
+func badColumnWrite(w *sealedtypes.World) {
+	w.Lo[0] = 7 // want `write to field Lo of sealed type sealedtypes.World`
+}
+
+// badColumnAppend grows a sealed column: append may reallocate or write
+// the shared backing array under a concurrent reader.
+func badColumnAppend(w *sealedtypes.World) {
+	w.Lo = append(w.Lo, 9) // want `write to field Lo of sealed type sealedtypes.World`
+}
+
+// badRankSwap reorders the insertion-order permutation — silently
+// changing every downstream enumeration order.
+func badRankSwap(w *sealedtypes.World) {
+	w.ByRank[0], w.ByRank[1] = w.ByRank[1], w.ByRank[0] // want `write to field ByRank of sealed type sealedtypes.World` `write to field ByRank of sealed type sealedtypes.World`
+}
+
+// badNetPatch rewires a topology row through the flat column.
+func badNetPatch(w *sealedtypes.World) {
+	w.Nets[0].ISP = 3 // want `write to field Nets of sealed type sealedtypes.World` `write to field ISP of sealed type sealedtypes.Net`
+}
+
+// badColumnAlias takes a column's address, creating a mutable alias the
+// analyzer can no longer see through.
+func badColumnAlias(w *sealedtypes.World) *[]uint64 {
+	return &w.Lo // want `address of field Lo of sealed type sealedtypes.World`
+}
+
+// badLiteral fabricates a sealed world outside the builder.
+func badLiteral() sealedtypes.World {
+	return sealedtypes.World{} // want `composite literal of sealed type sealedtypes.World`
+}
+
+// goodReads — binary-search-style reads over the sealed columns are the
+// whole point and stay legal.
+func goodReads(w *sealedtypes.World) int {
+	lo, hi := 0, len(w.Lo)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.Lo[mid] < 42 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	n := int(w.ByRank[0])
+	if len(w.Nets) > 0 && w.Nets[0].ISP >= 0 {
+		n++
+	}
+	return lo + n
+}

@@ -18,18 +18,23 @@ type StaleRecord struct {
 // AliasRecord is a "customer" DNS record pointing into an aliased region
 // (CDN per-customer addresses, the IP_FREEBIND pattern of §5). These are
 // how aliased prefixes flood hitlists with responsive but worthless
-// addresses.
+// addresses. Region is the ID of the owning region in AliasedRegions()
+// order — an index into the flat region column, not a pointer, so record
+// storage stays compact and relocatable.
 type AliasRecord struct {
 	Addr   ip6.Addr
 	ASN    bgp.ASN
 	Domain uint32
-	Region *AliasRegion
+	Region int32
 }
 
-// addRegion registers an alias region in the trie and region list.
-func (in *Internet) addRegion(r *AliasRegion) {
+// addRegion registers an alias region in the trie and the flat region
+// column, returning its dense ID.
+func (in *Internet) addRegion(r AliasRegion) int32 {
+	id := int32(len(in.regions))
 	in.regions = append(in.regions, r)
-	in.aliasT.Insert(r.Prefix, r)
+	in.aliasT.Insert(r.Prefix, id)
+	return id
 }
 
 // webMask is the protocol set aliased web front-ends answer.
@@ -68,7 +73,8 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 	// customers sequential addresses, so those records are counter-style —
 	// which is also what keeps the per-/32 entropy fingerprints of hoster
 	// space crisp (Figure 2).
-	addRecords := func(r *AliasRegion, n int) {
+	addRecords := func(ri int32, n int) {
+		r := &in.regions[ri]
 		rng := in.rngFor(r.Machine ^ 0x4ec04d5)
 		counterStyle := r.Prefix.Bits() >= 64
 		for i := 0; i < n; i++ {
@@ -82,7 +88,7 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 				continue
 			}
 			in.aliasRecords = append(in.aliasRecords, AliasRecord{
-				Addr: addr, ASN: r.ASN, Domain: nextDomain(), Region: r,
+				Addr: addr, ASN: r.ASN, Domain: nextDomain(), Region: ri,
 			})
 		}
 	}
@@ -116,7 +122,7 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 				continue
 			}
 			key := hash3(in.key^0xa11, uint64(asn), p.Addr().Hi())
-			r := &AliasRegion{
+			r := AliasRegion{
 				Prefix:  p,
 				ASN:     asn,
 				Machine: key,
@@ -127,42 +133,41 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 			if chance(mix64(key^4), 0.02) {
 				r.Loss = 0.1 + unit(mix64(key^5))*0.15
 			}
-			in.addRegion(r)
-			addRecords(r, recordsPer(p, 420))
+			addRecords(in.addRegion(r), recordsPer(p, 420))
 		}
 	}
 
 	// 2. Aliased /32 group + the whole-/32 single web server.
 	groupDone, wholeDone := 0, false
-	for _, nw := range in.nets {
+	for i := range in.nets {
+		nw := &in.nets[i]
 		if nw.kind != bgp.KindCloud || nw.prefix.Bits() != 32 {
 			continue
 		}
 		if !wholeDone {
 			key := hash2(in.key^0x3201, nw.key)
-			r := &AliasRegion{
+			ri := in.addRegion(AliasRegion{
 				Prefix: nw.prefix, ASN: nw.asn, Machine: key,
 				Serves: webMask(false), Quirks: 0, Loss: 0.006,
-			}
-			in.addRegion(r)
-			addRecords(r, recordsPer(nw.prefix, 60))
+			})
+			addRecords(ri, recordsPer(nw.prefix, 60))
 			wholeDone = true
 			continue
 		}
 		if groupDone < 8 && chance(hash2(in.key^0x3202, nw.key), 0.1) {
 			key := hash2(in.key^0x3203, nw.key)
-			r := &AliasRegion{
+			ri := in.addRegion(AliasRegion{
 				Prefix: nw.prefix, ASN: nw.asn, Machine: key,
 				Serves: webMask(true), Quirks: quirkFor(key), Loss: 0.008,
-			}
-			in.addRegion(r)
-			addRecords(r, recordsPer(nw.prefix, 40))
+			})
+			addRecords(ri, recordsPer(nw.prefix, 40))
 			groupDone++
 		}
 	}
 
 	// 3. Aliased /64s in hosters/clouds (single machines binding a /64).
-	for _, nw := range in.nets {
+	for ni := range in.nets {
+		nw := &in.nets[ni]
 		if nw.kind != bgp.KindHoster && nw.kind != bgp.KindCloud && nw.kind != bgp.KindInternetService {
 			continue
 		}
@@ -176,7 +181,7 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 		for i := 0; i < n; i++ {
 			p64 := nw.prefix.Subprefix(64, 0xf1ee+uint64(i))
 			key := hash3(in.key^0x64a2, nw.key, uint64(i))
-			r := &AliasRegion{
+			r := AliasRegion{
 				Prefix: p64, ASN: nw.asn, Machine: key,
 				Serves: webMask(chance(mix64(key), 0.3)),
 				Quirks: quirkFor(key),
@@ -188,31 +193,29 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 			if chance(mix64(key^8), 0.03) {
 				r.Loss = 0.1 + unit(mix64(key^9))*0.12
 			}
-			in.addRegion(r)
-			addRecords(r, recordsPer(p64, 16))
+			addRecords(in.addRegion(r), recordsPer(p64, 16))
 		}
 	}
 
 	// 4. §5.1 anomaly cases, placed in the first suitable hoster.
-	var anomalyNet *network
-	for _, nw := range in.nets {
-		if nw.kind == bgp.KindHoster && nw.prefix.Bits() == 32 {
-			anomalyNet = nw
+	anomalyNet := int32(-1)
+	for i := range in.nets {
+		if in.nets[i].kind == bgp.KindHoster && in.nets[i].prefix.Bits() == 32 {
+			anomalyNet = int32(i)
 			break
 		}
 	}
-	if anomalyNet != nil {
-		nw := anomalyNet
+	if anomalyNet >= 0 {
+		nw := &in.nets[anomalyNet]
 		// 4a. SYN proxy /80: parent /72 aliased, /80 child behind a SYN
 		// proxy answering 3-5 of 16 branches, varying per day.
 		p72 := nw.prefix.Subprefix(72, 0xdead01)
 		p80 := p72.Subprefix(80, 3)
-		parent := &AliasRegion{
+		parent := in.addRegion(AliasRegion{
 			Prefix: p72, ASN: nw.asn, Machine: hash2(in.key, 0x5a01),
 			Serves: webMask(false), Hole: p80, Loss: 0.005,
-		}
-		in.addRegion(parent)
-		in.addRegion(&AliasRegion{
+		})
+		in.addRegion(AliasRegion{
 			Prefix: p80, ASN: nw.asn, Machine: hash2(in.key, 0x5a02),
 			Quirks: QuirkSYNProxy, Loss: 0,
 		})
@@ -223,7 +226,7 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 		p112 := nw.prefix.Subprefix(112, 0xdecc1)
 		p116 := p112.Subprefix(116, 0xb)
 		hole := p116.Subprefix(120, 0x0)
-		in.addRegion(&AliasRegion{
+		in.addRegion(AliasRegion{
 			Prefix: p112, ASN: nw.asn, Machine: hash2(in.key, 0x5a03),
 			Serves: webMask(false), Hole: hole, Loss: 0.004,
 		})
@@ -231,18 +234,17 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 		// 4c. Six neighbouring rate-limited /120s: an aliased /116 whose
 		// low /120s are ICMP-rate-limited.
 		p116b := nw.prefix.Subprefix(116, 0xacdc2)
-		in.addRegion(&AliasRegion{
+		in.addRegion(AliasRegion{
 			Prefix: p116b, ASN: nw.asn, Machine: hash2(in.key, 0x5a04),
 			Serves: webMask(false), Quirks: QuirkRateLimit, Loss: 0.02,
 		})
 
 		// 4d. Footnote-style /96 inside the same hoster for fan-out tests.
 		p96 := nw.prefix.Subprefix(96, 0xfee1)
-		r96 := &AliasRegion{
+		r96 := in.addRegion(AliasRegion{
 			Prefix: p96, ASN: nw.asn, Machine: hash2(in.key, 0x5a05),
 			Serves: webMask(true), Loss: 0.006,
-		}
-		in.addRegion(r96)
+		})
 		addRecords(r96, recordsPer(p96, 10))
 	}
 }
@@ -252,27 +254,33 @@ func (in *Internet) planAliases(nextDomain func() uint32) {
 // slice of existing hosts gets rDNS entries, and hosters carry additional
 // rDNS-only hosts (plus stale rDNS records).
 func (in *Internet) planRDNS(nextDomain func() uint32) {
-	// Existing hosts: ~30% of servers and 20% of routers have PTRs.
-	for i := range in.hostArr {
-		h := &in.hostArr[i]
-		hk := hashAddr(in.key^0x4d45, h.Addr)
+	// Existing hosts: a PTR-share sweep over the sealed sorted columns.
+	// Each host's draw is a pure function of its address, so sweeping in
+	// sorted instead of insertion order selects the identical PTR set;
+	// the rdns slice is consumed as a set (dnssim.NewRTree), so its
+	// internal order is not observable.
+	hc := &in.hc
+	for i := int32(0); i < int32(hc.n()); i++ {
+		addr := hc.addrAt(i)
+		hk := hashAddr(in.key^0x4d45, addr)
 		// Only a small slice of forward-DNS-visible machines also have
 		// PTRs; the bulk of the rDNS tree is infrastructure the forward
 		// sources never see (that is what makes rDNS "mostly new", §8).
-		switch h.Class {
+		switch hc.classAt(i) {
 		case ClassWebServer, ClassDNSServer:
 			if chance(hk, 0.07) {
-				in.rdns = append(in.rdns, h.Addr)
+				in.rdns = append(in.rdns, addr)
 			}
 		case ClassRouter:
 			if chance(hk, 0.10) {
-				in.rdns = append(in.rdns, h.Addr)
+				in.rdns = append(in.rdns, addr)
 			}
 		}
 	}
 	// rDNS-only hosts on hosters (provisioned-but-unlisted machines) —
 	// these make rDNS "a valuable addition" (11.1M of 11.7M new in §8).
-	for _, nw := range in.nets {
+	for ni := range in.nets {
+		nw := &in.nets[ni]
 		if nw.kind != bgp.KindHoster && nw.kind != bgp.KindInternetService {
 			continue
 		}

@@ -19,29 +19,44 @@ import (
 // per-index.
 
 // batchTabs are the interval-compiled lookup tables, built lazily on
-// first ProbeBatch from the immutable world.
+// first ProbeBatch from the immutable world. Interval values are dense
+// int32 IDs into the flat region/network columns — the tables carry no
+// pointers.
 type batchTabs struct {
 	// alias is the most-specific-wins flattening of the alias-region trie.
-	alias []ip6.Interval[*AliasRegion]
+	alias []ip6.Interval[int32]
 	// nets is the most-specific-wins flattening of the announcement trie
 	// (the networkOf resolution hosts use for loss/path parameters).
-	nets []ip6.Interval[*network]
+	nets []ip6.Interval[int32]
 	// pools is the SHORTEST-match form of the announcement table: only the
 	// outermost announcements, which are disjoint — subscriber pools hang
 	// off the operator's covering announcement.
-	pools []ip6.Interval[*network]
+	pools []ip6.Interval[int32]
 }
 
 // batchTables compiles (once) and returns the interval tables.
 func (in *Internet) batchTables() *batchTabs {
 	in.batchOnce.Do(func() {
+		regionIDs := idRange(len(in.regions))
+		netIDs := idRange(len(in.nets))
+		regionPrefix := func(i int32) ip6.Prefix { return in.regions[i].Prefix }
+		netPrefix := func(i int32) ip6.Prefix { return in.nets[i].prefix }
 		in.batch = &batchTabs{
-			alias: compileLongest(in.regions, func(r *AliasRegion) ip6.Prefix { return r.Prefix }),
-			nets:  compileLongest(in.nets, func(nw *network) ip6.Prefix { return nw.prefix }),
-			pools: compileShortest(in.nets, func(nw *network) ip6.Prefix { return nw.prefix }),
+			alias: compileLongest(regionIDs, regionPrefix),
+			nets:  compileLongest(netIDs, netPrefix),
+			pools: compileShortest(netIDs, netPrefix),
 		}
 	})
 	return in.batch
+}
+
+// idRange returns the dense ID column [0, n).
+func idRange(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
 }
 
 // compileLongest flattens (prefix → value) entries into the disjoint
@@ -148,21 +163,25 @@ func (c *ivalRun[V]) lookup(a ip6.Addr) (V, bool) {
 // (see wire.BatchResponder).
 func (in *Internet) ProbeBatch(dsts []ip6.Addr, p wire.Proto, day int, at []wire.Time, out *wire.ResultColumns, base int) {
 	tabs := in.batchTables()
-	aliasRun := ivalRun[*AliasRegion]{tab: tabs.alias}
-	netRun := ivalRun[*network]{tab: tabs.nets}
-	poolRun := ivalRun[*network]{tab: tabs.pools}
+	aliasRun := ivalRun[int32]{tab: tabs.alias}
+	netRun := ivalRun[int32]{tab: tabs.nets}
+	poolRun := ivalRun[int32]{tab: tabs.pools}
+	hosts := hostRun{hc: &in.hc}
 	for k, dst := range dsts {
 		var raw rawResponse
 		handled := false
-		if r, ok := aliasRun.lookup(dst); ok {
-			raw, handled = in.probeAliasRaw(r, dst, p, day, at[k])
+		if ri, ok := aliasRun.lookup(dst); ok {
+			raw, handled = in.probeAliasRaw(&in.regions[ri], dst, p, day, at[k])
 		}
 		if !handled {
-			if i, ok := in.hosts[dst]; ok {
-				nw, _ := netRun.lookup(dst)
-				raw = in.probeHostRaw(&in.hostArr[i], dst, p, day, at[k], nw)
-			} else if nw, ok := poolRun.lookup(dst); ok && nw.isp != nil {
-				raw = in.probeLineRaw(nw, dst, p, day, at[k])
+			if hi, ok := hosts.lookup(dst); ok {
+				nwi, ok := netRun.lookup(dst)
+				if !ok {
+					nwi = -1
+				}
+				raw = in.probeHostRaw(hi, dst, p, day, at[k], nwi)
+			} else if ni, ok := poolRun.lookup(dst); ok && in.nets[ni].isp >= 0 {
+				raw = in.probeLineRaw(&in.nets[ni], dst, p, day, at[k])
 			}
 		}
 		in.emit(out, base+k, raw, day, at[k])

@@ -130,9 +130,9 @@ func TestIntervalTablesMatchTries(t *testing.T) {
 	tabs := world.batchTables()
 	rng := rand.New(rand.NewSource(0x17ab))
 	addrs := batchTargets(world, rng)
-	aliasRun := ivalRun[*AliasRegion]{tab: tabs.alias}
-	netRun := ivalRun[*network]{tab: tabs.nets}
-	poolRun := ivalRun[*network]{tab: tabs.pools}
+	aliasRun := ivalRun[int32]{tab: tabs.alias}
+	netRun := ivalRun[int32]{tab: tabs.nets}
+	poolRun := ivalRun[int32]{tab: tabs.pools}
 	for _, a := range addrs {
 		gotR, gotOK := aliasRun.lookup(a)
 		_, wantR, wantOK := world.aliasT.Lookup(a)

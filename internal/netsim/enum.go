@@ -11,22 +11,34 @@ import (
 // LineHost identifies a subscriber line that hosts a dynamic-DNS domain
 // (a NAS or self-hosted server behind the CPE). Its address changes when
 // the line renumbers, so forward-DNS sources re-resolve it every epoch.
+// ISP is the dense ID of the owning pool in the world's ISP column; the
+// unexported pointer into that sealed column serves the Addr/Rotates
+// methods without a world handle.
 type LineHost struct {
 	ASN  bgp.ASN
 	Line uint64
+	ISP  int32
 	isp  *lineISP
 }
 
-// LineHosts enumerates every domain-hosting subscriber line.
+// LineHosts enumerates every domain-hosting subscriber line. The output
+// is pre-sized from the per-pool domain-line counts fixed at
+// construction, so enumeration does one exact allocation.
 func (in *Internet) LineHosts() []LineHost {
-	var out []LineHost
-	for _, nw := range in.nets {
-		if nw.isp == nil {
+	total := 0
+	for i := range in.isps {
+		total += in.isps[i].domainLines
+	}
+	out := make([]LineHost, 0, total)
+	for ni := range in.nets {
+		nw := &in.nets[ni]
+		if nw.isp < 0 {
 			continue
 		}
-		for i := uint64(0); i < uint64(nw.isp.lines); i++ {
-			if nw.isp.hostsDomain(i) {
-				out = append(out, LineHost{ASN: nw.asn, Line: i, isp: nw.isp})
+		isp := &in.isps[nw.isp]
+		for i := uint64(0); i < uint64(isp.lines); i++ {
+			if isp.hostsDomain(i) {
+				out = append(out, LineHost{ASN: nw.asn, Line: i, ISP: nw.isp, isp: isp})
 			}
 		}
 	}
@@ -59,20 +71,22 @@ type ClientSnapshot struct {
 // this population.
 func (in *Internet) ClientSnapshots(day int, max int) []ClientSnapshot {
 	var out []ClientSnapshot
-	for _, nw := range in.nets {
-		if nw.isp == nil {
+	for ni := range in.nets {
+		nw := &in.nets[ni]
+		if nw.isp < 0 {
 			continue
 		}
+		isp := &in.isps[nw.isp]
 		cc := in.Table.AS(nw.asn).Country
-		for i := uint64(0); i < uint64(nw.isp.lines); i++ {
+		for i := uint64(0); i < uint64(isp.lines); i++ {
 			if len(out) >= max {
 				return out
 			}
 			// Only a subsample of client devices "participates".
-			if !chance(hash3(in.key^0xc4a3d, nw.isp.key, i), 0.25) {
+			if !chance(hash3(in.key^0xc4a3d, isp.key, i), 0.25) {
 				continue
 			}
-			if a, ok := nw.isp.clientAddr(i, day); ok {
+			if a, ok := isp.clientAddr(i, day); ok {
 				out = append(out, ClientSnapshot{Addr: a, ASN: nw.asn, Country: cc})
 			}
 		}
@@ -93,10 +107,11 @@ type NetworkInfo struct {
 // Networks lists all announced networks with their ground-truth schemes.
 func (in *Internet) Networks() []NetworkInfo {
 	out := make([]NetworkInfo, 0, len(in.nets))
-	for _, nw := range in.nets {
+	for i := range in.nets {
+		nw := &in.nets[i]
 		out = append(out, NetworkInfo{
 			Prefix: nw.prefix, ASN: nw.asn, Kind: nw.kind,
-			Scheme: nw.scheme, IsISP: nw.isp != nil,
+			Scheme: nw.scheme, IsISP: nw.isp >= 0,
 		})
 	}
 	return out
@@ -105,8 +120,8 @@ func (in *Internet) Networks() []NetworkInfo {
 // InSubscriberSpace reports whether addr falls inside an ISP line pool —
 // the space where traceroutes keep discovering fresh CPE hops.
 func (in *Internet) InSubscriberSpace(addr ip6.Addr) bool {
-	_, nw, ok := in.netT.LookupShortest(addr)
-	return ok && nw.isp != nil
+	_, ni, ok := in.netT.LookupShortest(addr)
+	return ok && in.nets[ni].isp >= 0
 }
 
 // nasAddr is the line's self-hosted server: subnet 3 of the /56, with a

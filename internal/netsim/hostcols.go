@@ -1,0 +1,357 @@
+package netsim
+
+import (
+	"reflect"
+	"sort"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// The columnar world plane.
+//
+// Construction (plan.go) registers finite hosts through a map-backed
+// builder — the exact map/AoS representation earlier versions kept for
+// the world's whole lifetime. Sealing replaces it with sorted (hi,lo)
+// address columns plus SoA parallel columns: the sorted column IS the
+// membership structure (the PR 2/5 pattern the hitlist planes use), so
+// the ~38 B/entry map overhead and the 40-byte padded Host structs are
+// gone, and a host costs 40 bytes flat (16 addr + 4 ASN + 1 meta +
+// 1 serves + 8 machine + 2 death + 4 domain + 4 rank).
+//
+// Lookup strategies:
+//   - random access (Probe, HostAt, traceroute hops): binary search on
+//     the address columns — hostCols.find;
+//   - batch access (ProbeBatch over sorted probe runs): hostRun, an
+//     amortized merge cursor that caches the hit-or-gap run containing
+//     the last query and advances monotonically — one or two compares
+//     per address on sorted input instead of a map probe;
+//   - enumeration in insertion order (Hosts, and everything downstream
+//     that is order-sensitive): the byRank permutation maps insertion
+//     rank to sorted position, so the sealed plane reproduces the
+//     builder's order byte-for-byte.
+
+// hostMeta packs HostClass (low 3 bits) and flag bits into one byte.
+const (
+	hostClassMask uint8 = 0x07
+	hostFlagQUIC  uint8 = 0x08 // QUICFlaky
+)
+
+// hostCols is the sealed SoA host plane. All columns are parallel and
+// sorted by (hi,lo); byRank is the insertion-order permutation.
+type hostCols struct {
+	hi, lo   []uint64
+	asn      []bgp.ASN
+	meta     []uint8
+	serves   []wire.RespMask
+	machine  []uint64
+	deathDay []int16
+	domain   []uint32
+	byRank   []int32
+}
+
+func (hc *hostCols) n() int { return len(hc.hi) }
+
+func (hc *hostCols) addrAt(i int32) ip6.Addr {
+	return ip6.AddrFromUint64(hc.hi[i], hc.lo[i])
+}
+
+func (hc *hostCols) classAt(i int32) HostClass {
+	return HostClass(hc.meta[i] & hostClassMask)
+}
+
+// hostAt reconstructs the AoS Host view of sorted position i.
+func (hc *hostCols) hostAt(i int32) Host {
+	return Host{
+		Addr:      hc.addrAt(i),
+		ASN:       hc.asn[i],
+		Class:     hc.classAt(i),
+		Serves:    hc.serves[i],
+		Machine:   hc.machine[i],
+		DeathDay:  hc.deathDay[i],
+		QUICFlaky: hc.meta[i]&hostFlagQUIC != 0,
+		Domain:    hc.domain[i],
+	}
+}
+
+// search returns the first position in [from, n) whose address is >= a.
+func (hc *hostCols) search(from int32, a ip6.Addr) int32 {
+	ah, al := a.Hi(), a.Lo()
+	lo, hi := from, int32(len(hc.hi))
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if hc.hi[mid] > ah || (hc.hi[mid] == ah && hc.lo[mid] >= al) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// find binary-searches the sorted address columns for a.
+func (hc *hostCols) find(a ip6.Addr) (int32, bool) {
+	i := hc.search(0, a)
+	if int(i) < len(hc.hi) && hc.hi[i] == a.Hi() && hc.lo[i] == a.Lo() {
+		return i, true
+	}
+	return 0, false
+}
+
+// packMeta packs class and flags into the meta byte.
+func packMeta(class HostClass, quicFlaky bool) uint8 {
+	m := uint8(class) & hostClassMask
+	if quicFlaky {
+		m |= hostFlagQUIC
+	}
+	return m
+}
+
+// worldBuilder is the construction-time host registry: the map/AoS
+// representation the sealed columns replace. plan() fills one, sealing
+// gathers it into columns and drops it; the retainBuilder test hook
+// keeps it alive as the in-test legacy reference.
+type worldBuilder struct {
+	hosts map[ip6.Addr]int32
+	arr   []Host
+}
+
+func newWorldBuilder() *worldBuilder {
+	return &worldBuilder{hosts: make(map[ip6.Addr]int32)}
+}
+
+// add registers a host; first insertion wins, as map semantics had it.
+func (b *worldBuilder) add(h Host) {
+	if _, dup := b.hosts[h.Addr]; dup {
+		return
+	}
+	b.hosts[h.Addr] = int32(len(b.arr))
+	b.arr = append(b.arr, h)
+}
+
+// sealHosts sorts a builder's hosts by address and gathers them into
+// exact-size columns. byRank[r] is the sorted position of the host with
+// insertion rank r.
+func sealHosts(b *worldBuilder) hostCols {
+	n := len(b.arr)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		return b.arr[perm[x]].Addr.Less(b.arr[perm[y]].Addr)
+	})
+	hc := makeHostCols(n)
+	for pos, rank := range perm {
+		hc.setFrom(int32(pos), &b.arr[rank])
+		hc.byRank[rank] = int32(pos)
+	}
+	return hc
+}
+
+func makeHostCols(n int) hostCols {
+	return hostCols{
+		hi:       make([]uint64, n),
+		lo:       make([]uint64, n),
+		asn:      make([]bgp.ASN, n),
+		meta:     make([]uint8, n),
+		serves:   make([]wire.RespMask, n),
+		machine:  make([]uint64, n),
+		deathDay: make([]int16, n),
+		domain:   make([]uint32, n),
+		byRank:   make([]int32, n),
+	}
+}
+
+func (hc *hostCols) setFrom(pos int32, h *Host) {
+	hc.hi[pos] = h.Addr.Hi()
+	hc.lo[pos] = h.Addr.Lo()
+	hc.asn[pos] = h.ASN
+	hc.meta[pos] = packMeta(h.Class, h.QUICFlaky)
+	hc.serves[pos] = h.Serves
+	hc.machine[pos] = h.Machine
+	hc.deathDay[pos] = h.DeathDay
+	hc.domain[pos] = h.Domain
+}
+
+// mergeSealed merges a (small) builder of late additions into sealed
+// columns. Delta hosts take insertion ranks after the sealed ones —
+// exactly the order the single-pass builder would have produced.
+func mergeSealed(hc hostCols, delta *worldBuilder) hostCols {
+	nd := len(delta.arr)
+	if nd == 0 {
+		return hc
+	}
+	dperm := make([]int32, nd)
+	for i := range dperm {
+		dperm[i] = int32(i)
+	}
+	sort.Slice(dperm, func(x, y int) bool {
+		return delta.arr[dperm[x]].Addr.Less(delta.arr[dperm[y]].Addr)
+	})
+	n1 := hc.n()
+	out := makeHostCols(n1 + nd)
+	oldToNew := make([]int32, n1)
+	deltaToNew := make([]int32, nd)
+	i, j := int32(0), 0
+	for pos := int32(0); pos < int32(n1+nd); pos++ {
+		takeOld := j >= nd
+		if !takeOld && int(i) < n1 {
+			takeOld = hc.addrAt(i).Less(delta.arr[dperm[j]].Addr)
+		}
+		if takeOld {
+			out.hi[pos] = hc.hi[i]
+			out.lo[pos] = hc.lo[i]
+			out.asn[pos] = hc.asn[i]
+			out.meta[pos] = hc.meta[i]
+			out.serves[pos] = hc.serves[i]
+			out.machine[pos] = hc.machine[i]
+			out.deathDay[pos] = hc.deathDay[i]
+			out.domain[pos] = hc.domain[i]
+			oldToNew[i] = pos
+			i++
+		} else {
+			rank := dperm[j]
+			out.setFrom(pos, &delta.arr[rank])
+			deltaToNew[rank] = pos
+			j++
+		}
+	}
+	for r := 0; r < n1; r++ {
+		out.byRank[r] = oldToNew[hc.byRank[r]]
+	}
+	for r := 0; r < nd; r++ {
+		out.byRank[n1+r] = deltaToNew[r]
+	}
+	return out
+}
+
+// hostRun is the batch-path merge cursor over the sorted host columns:
+// the parallel of ivalRun for point membership. It caches the *run*
+// containing the last query — the exact address it hit, or the gap
+// between neighbouring hosts it missed into — so a query inside the
+// cached run is answered in at most two compares. A forward miss
+// advances linearly a few steps (sorted probe runs and counter-style
+// host blocks interleave tightly, so the next host is almost always
+// adjacent) before falling back to binary search on the remaining
+// suffix; a backward miss restarts the search from the left. On sorted
+// input every column entry is passed at most once, so the whole batch
+// resolves in O(len(batch) + len(columns)) — O(1) amortized per probe.
+type hostRun struct {
+	hc     *hostCols
+	lo, hi ip6.Addr // cached run bounds (inclusive)
+	idx    int32    // matching position when hit
+	next   int32    // first position with address > hi
+	hit    bool
+	valid  bool
+}
+
+// hostRunAdvance bounds the linear walk of a forward miss before the
+// cursor falls back to binary search.
+const hostRunAdvance = 8
+
+func (c *hostRun) lookup(a ip6.Addr) (int32, bool) {
+	if c.valid && !a.Less(c.lo) && a.Compare(c.hi) <= 0 {
+		return c.idx, c.hit
+	}
+	hc := c.hc
+	n := int32(hc.n())
+	var pos int32
+	if c.valid && c.hi.Less(a) {
+		// Forward of the cached run: walk a few entries, then search the
+		// remaining suffix.
+		pos = c.next
+		steps := 0
+		ah, al := a.Hi(), a.Lo()
+		for pos < n && (hc.hi[pos] < ah || (hc.hi[pos] == ah && hc.lo[pos] < al)) {
+			pos++
+			steps++
+			if steps >= hostRunAdvance {
+				pos = hc.search(pos, a)
+				break
+			}
+		}
+	} else {
+		pos = hc.search(0, a)
+	}
+	c.valid = true
+	if pos < n && hc.hi[pos] == a.Hi() && hc.lo[pos] == a.Lo() {
+		c.lo, c.hi = a, a
+		c.idx, c.next, c.hit = pos, pos+1, true
+		return pos, true
+	}
+	// A gap run: from past the previous host (or the space's bottom) to
+	// before the next (or the space's top).
+	c.idx, c.next, c.hit = 0, pos, false
+	if pos > 0 {
+		c.lo = hc.addrAt(pos - 1).Next()
+	} else {
+		c.lo = ip6.Addr{}
+	}
+	if pos < n {
+		c.hi = hc.addrAt(pos).Prev()
+	} else {
+		c.hi = ip6.MaxAddr()
+	}
+	return 0, false
+}
+
+// WorldMem is the world plane's self-measured footprint, in bytes.
+type WorldMem struct {
+	NHosts int
+	// Hosts is the sealed host-column plane (the part the map/AoS
+	// representation dominated).
+	Hosts int64
+	// Topo covers flat networks, regions, ISP pools, tier-1 routers and
+	// the compiled batch tables, when built.
+	Topo int64
+	// Records covers stale DNS, alias records and rDNS addresses — input
+	// data for the sources, not lookup state.
+	Records int64
+}
+
+// Total returns the full accounted footprint.
+func (m WorldMem) Total() int64 { return m.Hosts + m.Topo + m.Records }
+
+// BytesPerHost returns the host-plane cost per finite host.
+func (m WorldMem) BytesPerHost() float64 {
+	if m.NHosts == 0 {
+		return 0
+	}
+	return float64(m.Hosts) / float64(m.NHosts)
+}
+
+// Exact element sizes for the flat topology columns, resolved once via
+// reflection so the accounting tracks struct layout changes.
+var (
+	networkBytes     = int64(reflect.TypeOf(network{}).Size())
+	aliasRegionBytes = int64(reflect.TypeOf(AliasRegion{}).Size())
+	lineISPBytes     = int64(reflect.TypeOf(lineISP{}).Size())
+	staleRecordBytes = int64(reflect.TypeOf(StaleRecord{}).Size())
+	aliasRecordBytes = int64(reflect.TypeOf(AliasRecord{}).Size())
+	intervalBytes    = int64(reflect.TypeOf(ip6.Interval[int32]{}).Size())
+)
+
+// MemBytes accounts the world's memory exactly from column lengths (the
+// ShardSet.MemBytes idiom): caps × element sizes, no sampling.
+func (in *Internet) MemBytes() WorldMem {
+	hc := &in.hc
+	var m WorldMem
+	m.NHosts = hc.n()
+	m.Hosts = int64(cap(hc.hi))*8 + int64(cap(hc.lo))*8 +
+		int64(cap(hc.asn))*4 + int64(cap(hc.meta)) + int64(cap(hc.serves)) +
+		int64(cap(hc.machine))*8 + int64(cap(hc.deathDay))*2 +
+		int64(cap(hc.domain))*4 + int64(cap(hc.byRank))*4
+	m.Topo = int64(cap(in.nets))*networkBytes +
+		int64(cap(in.regions))*aliasRegionBytes +
+		int64(cap(in.isps))*lineISPBytes +
+		int64(cap(in.tier1))*16
+	if in.batch != nil {
+		m.Topo += int64(cap(in.batch.alias)+cap(in.batch.nets)+cap(in.batch.pools)) * intervalBytes
+	}
+	m.Records = int64(cap(in.stale))*staleRecordBytes +
+		int64(cap(in.aliasRecords))*aliasRecordBytes +
+		int64(cap(in.rdns))*16
+	return m
+}

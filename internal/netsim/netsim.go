@@ -166,9 +166,16 @@ type lineISP struct {
 	hostShare float64
 	// clientShare is the fraction of lines with an active client device.
 	clientShare float64
+	// domainLines counts lines with hostsDomain(line) true, fixed at
+	// construction so LineHosts pre-sizes its output exactly.
+	domainLines int
 }
 
-// network is per-announcement metadata used when answering probes.
+// network is per-announcement metadata used when answering probes. The
+// topology is columnar: networks live in the flat Internet.nets slice and
+// every lookup structure (trie, interval table) carries dense int32 IDs
+// into it, so resolving a probe touches cache-line-contiguous data
+// instead of chasing per-network heap pointers.
 type network struct {
 	prefix  ip6.Prefix
 	asn     bgp.ASN
@@ -177,20 +184,25 @@ type network struct {
 	pathLen uint8
 	jitter  bool // TTL varies per probe (on-path effects)
 	loss    float64
-	isp     *lineISP // non-nil for subscriber pools
+	isp     int32 // index into Internet.isps; -1 for non-subscriber nets
 	scheme  Scheme
 }
 
-// Internet is the simulated world.
+// Internet is the simulated world. After New returns it is sealed: the
+// host population lives in sorted SoA columns (hostCols), networks,
+// alias regions and ISP pools in flat columns addressed by int32 IDs,
+// and nothing is mutated again (cmd/expanselint's sealedwrite analyzer
+// enforces the freeze outside this package).
 type Internet struct {
-	cfg     Config
-	Table   *bgp.Table
-	hosts   map[ip6.Addr]int32
-	hostArr []Host
-	regions []*AliasRegion
-	aliasT  ip6.Trie[*AliasRegion]
-	nets    []*network
-	netT    ip6.Trie[*network]
+	cfg   Config
+	Table *bgp.Table
+	// hc is the sealed columnar host plane (see hostcols.go).
+	hc      hostCols
+	regions []AliasRegion
+	aliasT  ip6.Trie[int32]
+	nets    []network
+	netT    ip6.Trie[int32]
+	isps    []lineISP
 	// tier1 transit router addresses shared across traceroute paths.
 	tier1        []ip6.Addr
 	stale        []StaleRecord
@@ -204,7 +216,17 @@ type Internet struct {
 	// responder path (see batch.go).
 	batchOnce sync.Once
 	batch     *batchTabs
+	// b is the construction-time host builder; nil once sealed. ref
+	// retains the builder as the in-test map/AoS reference when the
+	// retainBuilder hook is set.
+	b   *worldBuilder
+	ref *worldBuilder
 }
+
+// retainBuilder makes New keep the map/AoS builder on Internet.ref after
+// sealing. Test hook: the property tests pin the sealed columns against
+// the retained legacy representation.
+var retainBuilder bool
 
 // New builds the world. Generation cost is O(total hosts); the default
 // scale builds in well under a second.
@@ -221,11 +243,35 @@ func New(cfg Config) *Internet {
 	in := &Internet{
 		cfg:   cfg,
 		Table: bgp.Generate(cfg.Registry),
-		hosts: make(map[ip6.Addr]int32),
+		b:     newWorldBuilder(),
 		key:   mix64(uint64(cfg.Seed)),
 	}
 	in.plan()
 	return in
+}
+
+// sealPhase1 freezes the bulk of the host population into sorted columns
+// and swaps in a small delta builder for the late (rDNS-only) additions.
+// Sealing before planRDNS drops the host map at the construction peak and
+// lets the rDNS sweep run over the sorted columns.
+func (in *Internet) sealPhase1() {
+	in.hc = sealHosts(in.b)
+	if retainBuilder {
+		in.ref = in.b
+	}
+	in.b = newWorldBuilder()
+}
+
+// sealDelta merges the post-seal additions into the columns and drops the
+// builders for good.
+func (in *Internet) sealDelta() {
+	in.hc = mergeSealed(in.hc, in.b)
+	if retainBuilder {
+		for _, h := range in.b.arr {
+			in.ref.add(h)
+		}
+	}
+	in.b = nil
 }
 
 // Config returns the configuration the world was built with.
@@ -235,13 +281,16 @@ func (in *Internet) Config() Config { return in.cfg }
 // collection.
 func (in *Internet) Horizon() int { return in.cfg.Epochs * in.cfg.EpochDays }
 
-// addHost registers a finite host (construction time only).
+// addHost registers a finite host (construction time only). First
+// insertion wins; after the phase-1 seal the dedup check consults the
+// sealed columns as well as the delta builder.
 func (in *Internet) addHost(h Host) {
-	if _, dup := in.hosts[h.Addr]; dup {
-		return
+	if in.hc.n() > 0 {
+		if _, ok := in.hc.find(h.Addr); ok {
+			return
+		}
 	}
-	in.hosts[h.Addr] = int32(len(in.hostArr))
-	in.hostArr = append(in.hostArr, h)
+	in.b.add(h)
 }
 
 // Hosts returns all finite hosts of the given classes (all if none given).
@@ -258,27 +307,32 @@ func (in *Internet) Hosts(classes ...HostClass) []Host {
 		want = func(c HostClass) bool { return m[c] }
 	}
 	var out []Host
-	for _, h := range in.hostArr {
-		if want(h.Class) {
-			out = append(out, h)
+	for _, pos := range in.hc.byRank {
+		if want(in.hc.classAt(pos)) {
+			out = append(out, in.hc.hostAt(pos))
 		}
 	}
 	return out
 }
 
-// HostAt returns the finite host at addr, if any.
+// HostAt returns the finite host at addr, if any: a binary search on the
+// sorted address columns.
 func (in *Internet) HostAt(addr ip6.Addr) (Host, bool) {
-	if i, ok := in.hosts[addr]; ok {
-		return in.hostArr[i], true
+	if i, ok := in.hc.find(addr); ok {
+		return in.hc.hostAt(i), true
 	}
 	return Host{}, false
 }
 
 // AliasedRegions returns the ground-truth aliased regions (for validation
 // and EXPERIMENTS.md accounting — the pipeline itself must *detect* them).
+// The pointers index into the sealed region column and stay valid for the
+// world's lifetime.
 func (in *Internet) AliasedRegions() []*AliasRegion {
 	out := make([]*AliasRegion, len(in.regions))
-	copy(out, in.regions)
+	for i := range in.regions {
+		out[i] = &in.regions[i]
+	}
 	return out
 }
 
@@ -286,10 +340,11 @@ func (in *Internet) AliasedRegions() []*AliasRegion {
 // (outside any hole). SYN-proxy regions are not aliased: the proxy only
 // mimics responsiveness under attack thresholds (§5.1).
 func (in *Internet) GroundTruthAliased(addr ip6.Addr) bool {
-	_, r, ok := in.aliasT.Lookup(addr)
+	_, ri, ok := in.aliasT.Lookup(addr)
 	if !ok {
 		return false
 	}
+	r := &in.regions[ri]
 	if r.Quirks&QuirkSYNProxy != 0 {
 		return false
 	}
@@ -318,20 +373,20 @@ func (in *Internet) GroundTruthAliased(addr ip6.Addr) bool {
 // per-index against Probe by test.
 func (in *Internet) Probe(dst ip6.Addr, p wire.Proto, day int, at wire.Time) wire.Response {
 	// 1. Aliased regions (including their special-behaviour quirks).
-	if _, r, ok := in.aliasT.Lookup(dst); ok {
-		if raw, handled := in.probeAliasRaw(r, dst, p, day, at); handled {
+	if _, ri, ok := in.aliasT.Lookup(dst); ok {
+		if raw, handled := in.probeAliasRaw(&in.regions[ri], dst, p, day, at); handled {
 			return in.materialize(raw, day, at)
 		}
 	}
-	// 2. Finite hosts.
-	if i, ok := in.hosts[dst]; ok {
-		return in.materialize(in.probeHostRaw(&in.hostArr[i], dst, p, day, at, in.networkOf(dst)), day, at)
+	// 2. Finite hosts: binary search on the sorted host columns.
+	if i, ok := in.hc.find(dst); ok {
+		return in.materialize(in.probeHostRaw(i, dst, p, day, at, in.networkOf(dst)), day, at)
 	}
 	// 3. Functional populations: rotating subscriber lines. Pools hang
 	// off the operator's covering announcement, so resolve with the
 	// SHORTEST match (more-specific announcements may overlap the pool).
-	if _, nw, ok := in.netT.LookupShortest(dst); ok && nw.isp != nil {
-		return in.materialize(in.probeLineRaw(nw, dst, p, day, at), day, at)
+	if _, ni, ok := in.netT.LookupShortest(dst); ok && in.nets[ni].isp >= 0 {
+		return in.materialize(in.probeLineRaw(&in.nets[ni], dst, p, day, at), day, at)
 	}
 	return wire.Response{}
 }
@@ -431,38 +486,42 @@ func (r *AliasRegion) pathLen(in *Internet) uint8 {
 	return uint8(3 + hash2(in.key^0x9a70, uint64(r.ASN))%9)
 }
 
-// probeHostRaw answers probes to finite hosts. nw is the most-specific
-// announcement covering dst (nil if unannounced); the per-probe path
-// resolves it through the network trie, the batch path through the
-// interval table.
-func (in *Internet) probeHostRaw(h *Host, dst ip6.Addr, p wire.Proto, day int, at wire.Time, nw *network) rawResponse {
-	if h.DeathDay >= 0 && day >= int(h.DeathDay) {
+// probeHostRaw answers probes to the finite host at sorted column
+// position hi. nwi is the most-specific announcement covering dst (-1 if
+// unannounced); the per-probe path resolves it through the network trie,
+// the batch path through the interval table. Taking indices instead of
+// pointers keeps both resolution paths on the flat columns.
+func (in *Internet) probeHostRaw(hi int32, dst ip6.Addr, p wire.Proto, day int, at wire.Time, nwi int32) rawResponse {
+	hc := &in.hc
+	if dd := hc.deathDay[hi]; dd >= 0 && day >= int(dd) {
 		return rawResponse{}
 	}
-	if !h.Serves.Has(p) {
+	if !hc.serves[hi].Has(p) {
 		return rawResponse{}
 	}
 	dstKey := hashAddr(in.key, dst)
-	if h.QUICFlaky && p == wire.UDP443 {
+	meta, mk := hc.meta[hi], hc.machine[hi]
+	if meta&hostFlagQUIC != 0 && p == wire.UDP443 {
 		// Flapping QUIC deployment: up only on "test days" per address.
-		if !chance(hash3(h.Machine^0x901c, uint64(day), dstKey), 0.75) {
+		if !chance(hash3(mk^0x901c, uint64(day), dstKey), 0.75) {
 			return rawResponse{}
 		}
 	}
 	loss, path, jitter := 0.01, uint8(5), false
-	if nw != nil {
+	if nwi >= 0 {
+		nw := &in.nets[nwi]
 		loss, path, jitter = nw.loss, nw.pathLen, nw.jitter
 	}
-	if h.Class == ClassClient || h.Class == ClassBitnode {
+	if class := HostClass(meta & hostClassMask); class == ClassClient || class == ClassBitnode {
 		// Clients: session windows; see §9.3. Deterministic per (host,day).
-		if !clientOnline(h.Machine, day, at) {
+		if !clientOnline(mk, day, at) {
 			return rawResponse{}
 		}
 	}
 	if chance(hash3(in.key^0x1055, dstKey, uint64(day)<<3|uint64(p)), loss) {
 		return rawResponse{}
 	}
-	return in.answerRaw(h.Machine, dstKey, p, at, path, jitter)
+	return in.answerRaw(mk, dstKey, p, at, path, jitter)
 }
 
 // clientOnline models a client's daily uptime window (mean ≈ 8h).
@@ -489,7 +548,7 @@ func clientOnline(key uint64, day int, at wire.Time) bool {
 
 // probeLineRaw answers probes into subscriber pools (rotating CPE/clients).
 func (in *Internet) probeLineRaw(nw *network, dst ip6.Addr, p wire.Proto, day int, at wire.Time) rawResponse {
-	isp := nw.isp
+	isp := &in.isps[nw.isp]
 	line, kind, ok := isp.lineAt(dst, day)
 	if !ok {
 		return rawResponse{}
@@ -558,13 +617,14 @@ func (in *Internet) answerRaw(effKey, dstKey uint64, p wire.Proto, at wire.Time,
 	return rawResponse{ok: true, tcp: p.IsTCP(), hop: hl, m: m, dstKey: dstKey}
 }
 
-// networkOf returns per-announcement metadata covering addr.
-func (in *Internet) networkOf(addr ip6.Addr) *network {
-	_, nw, ok := in.netT.Lookup(addr)
+// networkOf returns the ID of the most-specific announcement covering
+// addr, or -1 if unannounced.
+func (in *Internet) networkOf(addr ip6.Addr) int32 {
+	_, ni, ok := in.netT.Lookup(addr)
 	if !ok {
-		return nil
+		return -1
 	}
-	return nw
+	return ni
 }
 
 // rngFor derives a deterministic rand.Rand for a construction sub-task.

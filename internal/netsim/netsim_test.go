@@ -25,13 +25,16 @@ var world = New(testConfig()) // shared across tests (read-only)
 
 func TestDeterminism(t *testing.T) {
 	a, b := New(testConfig()), New(testConfig())
-	if len(a.hostArr) != len(b.hostArr) {
-		t.Fatalf("host counts differ: %d vs %d", len(a.hostArr), len(b.hostArr))
+	if a.hc.n() != b.hc.n() {
+		t.Fatalf("host counts differ: %d vs %d", a.hc.n(), b.hc.n())
 	}
-	for i := range a.hostArr {
-		if a.hostArr[i] != b.hostArr[i] {
+	for i := int32(0); i < int32(a.hc.n()); i++ {
+		if a.hc.hostAt(i) != b.hc.hostAt(i) {
 			t.Fatalf("host %d differs", i)
 		}
+	}
+	if ad, bd := a.Digest(), b.Digest(); ad != bd {
+		t.Fatal("world digests differ")
 	}
 	if len(a.regions) != len(b.regions) {
 		t.Fatal("region counts differ")
@@ -214,9 +217,9 @@ func TestRandomAddressesSilent(t *testing.T) {
 
 func TestLinePoolRoundTrip(t *testing.T) {
 	var pool *lineISP
-	for _, nw := range world.nets {
-		if nw.isp != nil && nw.isp.rotate > 0 {
-			pool = nw.isp
+	for i := range world.isps {
+		if world.isps[i].rotate > 0 {
+			pool = &world.isps[i]
 			break
 		}
 	}
@@ -242,9 +245,9 @@ func TestLinePoolRoundTrip(t *testing.T) {
 
 func TestLineRotation(t *testing.T) {
 	var pool *lineISP
-	for _, nw := range world.nets {
-		if nw.isp != nil && nw.isp.rotate > 0 {
-			pool = nw.isp
+	for i := range world.isps {
+		if world.isps[i].rotate > 0 {
+			pool = &world.isps[i]
 			break
 		}
 	}
@@ -279,8 +282,9 @@ func TestLineRotation(t *testing.T) {
 
 func TestCPERespondsOnlyWhileCurrent(t *testing.T) {
 	var nw *network
-	for _, n := range world.nets {
-		if n.isp != nil && n.isp.rotate > 0 {
+	for i := range world.nets {
+		n := &world.nets[i]
+		if n.isp >= 0 && world.isps[n.isp].rotate > 0 {
 			nw = n
 			break
 		}
@@ -288,7 +292,7 @@ func TestCPERespondsOnlyWhileCurrent(t *testing.T) {
 	if nw == nil {
 		t.Fatal("no rotating pool")
 	}
-	pool := nw.isp
+	pool := &world.isps[nw.isp]
 	line := uint64(1)
 	day := 0
 	cpe := pool.cpeAddr(line, day)
@@ -312,9 +316,9 @@ func TestCPERespondsOnlyWhileCurrent(t *testing.T) {
 
 func TestVendorMix(t *testing.T) {
 	var pool *lineISP
-	for _, n := range world.nets {
-		if n.isp != nil && n.isp.lines > 300 {
-			pool = n.isp
+	for i := range world.isps {
+		if world.isps[i].lines > 300 {
+			pool = &world.isps[i]
 			break
 		}
 	}

@@ -72,11 +72,14 @@ func (in *Internet) plan() {
 		byAS[a.Origin] = append(byAS[a.Origin], a.Prefix)
 	}
 
-	// Per-announcement network metadata.
+	// Per-announcement network metadata: a flat, exactly-sized column.
+	// The announcement count is final here, so net IDs handed to the trie
+	// below stay stable for the world's lifetime.
+	in.nets = make([]network, 0, len(anns))
 	for _, a := range anns {
 		info := in.Table.AS(a.Origin)
 		key := hash3(in.key, uint64(a.Origin), a.Prefix.Addr().Hi())
-		nw := &network{
+		nw := network{
 			prefix:  a.Prefix,
 			asn:     a.Origin,
 			kind:    info.Kind,
@@ -84,6 +87,7 @@ func (in *Internet) plan() {
 			pathLen: uint8(3 + key%9),
 			jitter:  chance(mix64(key^1), 0.28),
 			loss:    0.004 + unit(mix64(key^2))*0.016,
+			isp:     -1,
 			// One operator, one addressing plan: all announcements of an
 			// AS share a scheme (the homogeneity Fig. 3b observes).
 			scheme: pickScheme(hash2(in.key, uint64(a.Origin))),
@@ -92,13 +96,14 @@ func (in *Internet) plan() {
 			nw.loss = 0.08 + unit(mix64(key^4))*0.2 // high-loss networks (§5.2)
 		}
 		in.nets = append(in.nets, nw)
-		in.netT.Insert(a.Prefix, nw)
+		in.netT.Insert(a.Prefix, int32(len(in.nets)-1))
 	}
 
 	domainID := uint32(1)
 	nextDomain := func() uint32 { d := domainID; domainID++; return d }
 
-	for _, nw := range in.nets {
+	for i := range in.nets {
+		nw := &in.nets[i]
 		switch nw.kind {
 		case bgp.KindISP:
 			in.planISP(nw, byAS[nw.asn])
@@ -112,7 +117,11 @@ func (in *Internet) plan() {
 	in.planAtlas()
 	in.planBitnodes()
 	in.planTier1()
+	// Seal the bulk population before the rDNS pass: the host map drops
+	// at the construction peak, and planRDNS sweeps the sorted columns.
+	in.sealPhase1()
 	in.planRDNS(nextDomain)
+	in.sealDelta()
 }
 
 func pickScheme(key uint64) Scheme {
@@ -375,7 +384,7 @@ func (in *Internet) planISP(nw *network, all []ip6.Prefix) {
 		rotate = 2 + int(hash2(nw.key, 0x708)%5)
 	}
 	g := hash2(nw.key, 0x6) | 1
-	nw.isp = &lineISP{
+	isp := lineISP{
 		key:         hash2(nw.key, 0x11e5),
 		asn:         nw.asn,
 		base:        nw.prefix,
@@ -387,13 +396,23 @@ func (in *Internet) planISP(nw *network, all []ip6.Prefix) {
 		hostShare:   0.12 + unit(mix64(nw.key^0xd0))*0.18,
 		clientShare: 0.3 + unit(mix64(nw.key^0xc1))*0.3,
 	}
+	// Count the domain-hosting lines once so LineHosts can pre-size its
+	// output exactly instead of growing from nil.
+	for i := uint64(0); i < uint64(isp.lines); i++ {
+		if isp.hostsDomain(i) {
+			isp.domainLines++
+		}
+	}
+	nw.isp = int32(len(in.isps))
+	in.isps = append(in.isps, isp)
 }
 
 // planAtlas scatters RIPE-Atlas-style probes over most ASes — the
 // balanced, router-and-probe-flavoured source of §3.
 func (in *Internet) planAtlas() {
 	n := 0
-	for _, nw := range in.nets {
+	for i := range in.nets {
+		nw := &in.nets[i]
 		if nw.prefix.Bits() > 36 {
 			continue
 		}
@@ -428,19 +447,24 @@ func (in *Internet) planAtlas() {
 func (in *Internet) planBitnodes() {
 	target := int(300 * in.cfg.Scale)
 	placed := 0
-	for _, nw := range in.nets {
+	for ni := range in.nets {
+		nw := &in.nets[ni]
 		if placed >= target {
 			return
 		}
-		if nw.isp == nil || nw.isp.rotate != 0 {
+		if nw.isp < 0 {
+			continue
+		}
+		isp := &in.isps[nw.isp]
+		if isp.rotate != 0 {
 			continue
 		}
 		k := 1 + int(hash2(nw.key, 0xb17)%3)
 		for i := 0; i < k && placed < target; i++ {
-			line := hash2(nw.isp.key^0xb17c, uint64(i)) % uint64(nw.isp.lines)
-			p56 := nw.isp.linePrefix(line, 0)
+			line := hash2(isp.key^0xb17c, uint64(i)) % uint64(isp.lines)
+			p56 := isp.linePrefix(line, 0)
 			sub := p56.Subprefix(64, 2)
-			iid := hash2(nw.isp.key^0xb17d, line)
+			iid := hash2(isp.key^0xb17d, line)
 			if iid>>24&0xffff == 0xfffe {
 				iid ^= 0x3333 << 24
 			}
@@ -455,8 +479,8 @@ func (in *Internet) planBitnodes() {
 				ASN:      nw.asn,
 				Class:    ClassBitnode,
 				Serves:   serves,
-				Machine:  hash2(nw.isp.key^0xb17e, line),
-				DeathDay: deathDay(hash2(nw.isp.key^0xb17f, line), 0.016, 3*in.Horizon()),
+				Machine:  hash2(isp.key^0xb17e, line),
+				DeathDay: deathDay(hash2(isp.key^0xb17f, line), 0.016, 3*in.Horizon()),
 			})
 			placed++
 		}
@@ -467,8 +491,9 @@ func (in *Internet) planBitnodes() {
 func (in *Internet) planTier1() {
 	// Reuse the router subnets of the first eight ISP pools as "transit".
 	count := 0
-	for _, nw := range in.nets {
-		if nw.isp == nil {
+	for i := range in.nets {
+		nw := &in.nets[i]
+		if nw.isp < 0 {
 			continue
 		}
 		sub := nw.prefix.Subprefix(64, 0xffff)

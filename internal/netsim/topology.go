@@ -38,10 +38,11 @@ func (in *Internet) TraceroutePath(dst ip6.Addr, day int) []Hop {
 		}
 	}
 
-	nw := in.networkOf(dst)
-	if nw == nil {
+	nwi := in.networkOf(dst)
+	if nwi < 0 {
 		return path
 	}
+	nw := &in.nets[nwi]
 	// Destination network core routers: 1-3 from the router subnet.
 	sub := coveringRouterSubnet(in, nw)
 	if !sub.IsZero() {
@@ -58,9 +59,11 @@ func (in *Internet) TraceroutePath(dst ip6.Addr, day int) []Hop {
 	}
 	// Last hop before subscriber targets: the line's CPE. The pool hangs
 	// off the covering announcement, so resolve with the shortest match.
-	if _, poolNw, ok := in.netT.LookupShortest(dst); ok && poolNw.isp != nil {
-		if line, ok := lineContaining(poolNw.isp, dst, day); ok {
-			cpe := poolNw.isp.cpeAddr(line, day)
+	if _, ni, ok := in.netT.LookupShortest(dst); ok && in.nets[ni].isp >= 0 {
+		poolNw := &in.nets[ni]
+		isp := &in.isps[poolNw.isp]
+		if line, ok := lineContaining(isp, dst, day); ok {
+			cpe := isp.cpeAddr(line, day)
 			if cpe != dst {
 				path = append(path, Hop{Addr: cpe, ASN: poolNw.asn})
 			}
@@ -76,7 +79,8 @@ func coveringRouterSubnet(in *Internet, nw *network) ip6.Prefix {
 		return nw.prefix.Subprefix(64, 0xffff)
 	}
 	// Find a shorter covering announcement of the same AS.
-	for _, cand := range in.nets {
+	for i := range in.nets {
+		cand := &in.nets[i]
 		if cand.asn == nw.asn && cand.prefix.Bits() <= 36 && cand.prefix.Overlaps(nw.prefix) {
 			return cand.prefix.Subprefix(64, 0xffff)
 		}

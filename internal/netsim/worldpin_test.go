@@ -1,0 +1,244 @@
+package netsim
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"expanse/internal/bgp"
+	"expanse/internal/ip6"
+	"expanse/internal/wire"
+)
+
+// World-construction pins for the columnar plane. The digest constants
+// below were captured from the pre-refactor map/AoS world (the one the
+// published report checksums were produced on); the sealed columns must
+// reproduce them bit for bit. The property tests then pin every columnar
+// access path — construction order, HostAt, the batched merge cursor —
+// against the retained legacy builder across populations, orders and
+// batch splits.
+
+// pinnedDigests maps config name → hex SHA-256 of Digest() captured at
+// the last map/AoS commit. Changing world generation intentionally means
+// re-capturing these and re-blessing every report checksum downstream.
+var pinnedDigests = map[string]string{
+	"test": "c0d07b1ae0626bea484e1028d21bc0cf19db19825b7caee9eb692ba59b82f717",
+	"mid":  "1581874164345e578cec0d6792063d85deaa5f53080d429f762938d4593bd73a",
+	"alt":  "98580e68f334bba7506b1c05802b9be5776a9b14912d27987ab85f761281a4b8",
+}
+
+func pinConfigs() map[string]Config {
+	return map[string]Config{
+		"test": testConfig(),
+		"mid":  {Seed: 0x16C18, Registry: bgp.DefaultRegistryConfig(), Scale: 0.25, EpochDays: 7, Epochs: 10},
+		"alt":  {Seed: 7, Registry: bgp.RegistryConfig{ASes: 400, PrefixesPerAS: 4.2, Seed: 11}, Scale: 0.12, EpochDays: 5, Epochs: 8},
+	}
+}
+
+func TestWorldDigestPinned(t *testing.T) {
+	for name, cfg := range pinConfigs() {
+		if testing.Short() && name != "test" {
+			continue
+		}
+		in := New(cfg)
+		got := in.Digest()
+		if hex.EncodeToString(got[:]) != pinnedDigests[name] {
+			t.Errorf("config %q: world digest %x, want %s", name, got, pinnedDigests[name])
+		}
+	}
+}
+
+// buildWithRef builds a world retaining the legacy map/AoS builder as the
+// reference representation.
+func buildWithRef(t *testing.T, cfg Config) *Internet {
+	t.Helper()
+	retainBuilder = true
+	defer func() { retainBuilder = false }()
+	return New(cfg)
+}
+
+// refConfigs are small worlds diverse enough to cover every population
+// (farms, anomalies, subscriber pools, rDNS-only routers).
+func refConfigs() []Config {
+	return []Config{
+		testConfig(),
+		{Seed: 3, Registry: bgp.RegistryConfig{ASes: 120, PrefixesPerAS: 2.5, Seed: 5}, Scale: 0.05, EpochDays: 5, Epochs: 4},
+		{Seed: 0x5eed, Registry: bgp.RegistryConfig{ASes: 300, PrefixesPerAS: 4.0, Seed: 13}, Scale: 0.1, EpochDays: 7, Epochs: 8},
+	}
+}
+
+// TestColumnsMatchBuilder pins the sealed columns against the retained
+// builder: same population, same insertion order, same per-host fields.
+func TestColumnsMatchBuilder(t *testing.T) {
+	for ci, cfg := range refConfigs() {
+		in := buildWithRef(t, cfg)
+		ref := in.ref
+		if ref == nil {
+			t.Fatal("retainBuilder hook did not retain the builder")
+		}
+		if got, want := in.hc.n(), len(ref.arr); got != want {
+			t.Fatalf("config %d: %d hosts in columns, %d in builder", ci, got, want)
+		}
+		// Insertion (rank) order: byRank must walk the columns in exactly
+		// builder-append order.
+		for rank, pos := range in.hc.byRank {
+			if got, want := in.hc.hostAt(pos), ref.arr[rank]; got != want {
+				t.Fatalf("config %d rank %d: columns %+v, builder %+v", ci, rank, got, want)
+			}
+		}
+		// Sorted order: addresses strictly increasing (no duplicates).
+		for i := 1; i < in.hc.n(); i++ {
+			if !in.hc.addrAt(int32(i - 1)).Less(in.hc.addrAt(int32(i))) {
+				t.Fatalf("config %d: columns not strictly sorted at %d", ci, i)
+			}
+		}
+		// The map agrees with find for every member.
+		for addr, idx := range ref.hosts {
+			i, ok := in.hc.find(addr)
+			if !ok {
+				t.Fatalf("config %d: %v in builder map but not found in columns", ci, addr)
+			}
+			if in.hc.hostAt(i) != ref.arr[idx] {
+				t.Fatalf("config %d: host at %v differs from builder", ci, addr)
+			}
+		}
+	}
+}
+
+// TestHostAtMatchesReference pins HostAt (binary search) against the
+// retained map for hits, near-misses (members ±1) and random misses.
+func TestHostAtMatchesReference(t *testing.T) {
+	in := buildWithRef(t, testConfig())
+	ref := in.ref
+	rng := rand.New(rand.NewSource(0x40a7))
+	var queries []ip6.Addr
+	for addr := range ref.hosts {
+		queries = append(queries, addr)
+		if rng.Intn(4) == 0 {
+			queries = append(queries, addr.Next(), addr.Prev())
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		queries = append(queries, ip6.AddrFromUint64(rng.Uint64(), rng.Uint64()))
+	}
+	for _, q := range queries {
+		got, gotOK := in.HostAt(q)
+		idx, wantOK := ref.hosts[q]
+		if gotOK != wantOK {
+			t.Fatalf("HostAt(%v): ok=%v, map says %v", q, gotOK, wantOK)
+		}
+		if gotOK && got != ref.arr[idx] {
+			t.Fatalf("HostAt(%v): %+v, map says %+v", q, got, ref.arr[idx])
+		}
+	}
+}
+
+// TestHostRunMatchesReference pins the amortized merge cursor against the
+// map across query orders (sorted ascending, descending, shuffled) and
+// restart splits, over a mix dense in members, neighbours and misses.
+func TestHostRunMatchesReference(t *testing.T) {
+	in := buildWithRef(t, testConfig())
+	ref := in.ref
+	rng := rand.New(rand.NewSource(0x40a8))
+	var queries []ip6.Addr
+	for addr := range ref.hosts {
+		queries = append(queries, addr)
+		if rng.Intn(3) == 0 {
+			queries = append(queries, addr.Next())
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		queries = append(queries, ip6.AddrFromUint64(rng.Uint64(), rng.Uint64()))
+	}
+	sorted := append([]ip6.Addr(nil), queries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	desc := append([]ip6.Addr(nil), sorted...)
+	for i, j := 0, len(desc)-1; i < j; i, j = i+1, j-1 {
+		desc[i], desc[j] = desc[j], desc[i]
+	}
+	shuffled := append([]ip6.Addr(nil), queries...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	for oi, order := range [][]ip6.Addr{sorted, desc, shuffled} {
+		for _, split := range []int{len(order), 64, 7, 1} {
+			cur := hostRun{hc: &in.hc}
+			for k, q := range order {
+				if k%split == 0 {
+					cur = hostRun{hc: &in.hc} // fresh cursor per batch
+				}
+				hi, ok := cur.lookup(q)
+				idx, wantOK := ref.hosts[q]
+				if ok != wantOK {
+					t.Fatalf("order %d split %d: cursor(%v) ok=%v, map says %v", oi, split, q, ok, wantOK)
+				}
+				if ok && in.hc.hostAt(hi) != ref.arr[idx] {
+					t.Fatalf("order %d split %d: cursor(%v) wrong host", oi, split, q)
+				}
+			}
+		}
+	}
+}
+
+// TestHostsClassFilter pins the class-filtered enumeration against a
+// builder-side filter in insertion order.
+func TestHostsClassFilter(t *testing.T) {
+	in := buildWithRef(t, testConfig())
+	ref := in.ref
+	for _, classes := range [][]HostClass{
+		nil,
+		{ClassWebServer},
+		{ClassRouter, ClassCPE},
+		{ClassBitnode, ClassAtlas, ClassDNSServer},
+	} {
+		want := map[HostClass]bool{}
+		for _, c := range classes {
+			want[c] = true
+		}
+		var expect []Host
+		for _, h := range ref.arr {
+			if len(classes) == 0 || want[h.Class] {
+				expect = append(expect, h)
+			}
+		}
+		got := in.Hosts(classes...)
+		if len(got) != len(expect) {
+			t.Fatalf("classes %v: %d hosts, want %d", classes, len(got), len(expect))
+		}
+		for i := range got {
+			if got[i] != expect[i] {
+				t.Fatalf("classes %v: host %d differs", classes, i)
+			}
+		}
+	}
+}
+
+// TestBatchMatchesPerProbeOnRefWorlds re-runs the batch-vs-probe pin on
+// the reference worlds (the shared test world is covered by
+// TestProbeBatchMatchesProbe) so the merge cursor is exercised against
+// populations with different farm/pool mixes.
+func TestBatchMatchesPerProbeOnRefWorlds(t *testing.T) {
+	for ci, cfg := range refConfigs()[1:] {
+		in := New(cfg)
+		rng := rand.New(rand.NewSource(int64(0xba7c6 + ci)))
+		targets := batchTargets(in, rng)
+		sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
+		at := make([]wire.Time, len(targets))
+		for i := range at {
+			at[i] = wire.Time(i) * 7
+		}
+		var table wire.TCPTable
+		var cols wire.ResultColumns
+		cols.Reset(len(targets), &table)
+		in.ProbeBatch(targets, wire.TCP80, 2, at, &cols, 0)
+		for i, dst := range targets {
+			want := in.Probe(dst, wire.TCP80, 2, at[i])
+			if cols.OK.Get(i) != want.OK {
+				t.Fatalf("config %d target %d: OK mismatch", ci, i)
+			}
+			if want.OK && cols.HopLimit[i] != want.HopLimit {
+				t.Fatalf("config %d target %d: hop mismatch", ci, i)
+			}
+		}
+	}
+}

@@ -145,10 +145,14 @@ func newDNSSource(name string, dns *dnssim.Server, cfg netsim.Config, keep func(
 	return s
 }
 
-// bitnodesSource returns current Bitcoin peers (client addresses).
+// bitnodesSource returns current Bitcoin peers (client addresses). It
+// keeps parallel columns of just the two host fields Collect reads —
+// address and death day — instead of retaining full Host records for the
+// world's lifetime.
 type bitnodesSource struct {
-	hosts  []netsim.Host
-	epochs []int // firstEpoch per host, precomputed at construction
+	addrs  []ip6.Addr
+	death  []int16 // DeathDay per peer (-1: beyond horizon)
+	epochs []int16 // firstEpoch per peer, precomputed at construction
 	perDay int
 }
 
@@ -156,9 +160,16 @@ type bitnodesSource struct {
 func NewBitnodes(world *netsim.Internet) Source {
 	cfg := world.Config()
 	hosts := world.Hosts(netsim.ClassBitnode)
-	s := &bitnodesSource{hosts: hosts, perDay: cfg.EpochDays}
+	s := &bitnodesSource{
+		addrs:  make([]ip6.Addr, 0, len(hosts)),
+		death:  make([]int16, 0, len(hosts)),
+		epochs: make([]int16, 0, len(hosts)),
+		perDay: cfg.EpochDays,
+	}
 	for _, h := range hosts {
-		s.epochs = append(s.epochs, addrEpoch(h.Addr, BIT, cfg.Epochs))
+		s.addrs = append(s.addrs, h.Addr)
+		s.death = append(s.death, h.DeathDay)
+		s.epochs = append(s.epochs, int16(addrEpoch(h.Addr, BIT, cfg.Epochs)))
 	}
 	return s
 }
@@ -166,25 +177,26 @@ func NewBitnodes(world *netsim.Internet) Source {
 func (s *bitnodesSource) Name() string { return BIT }
 
 func (s *bitnodesSource) Collect(day int, _ *ip6.ShardSet) []ip6.Addr {
-	epoch := day / s.perDay
+	epoch := int16(day / s.perDay)
 	var out []ip6.Addr
-	for i, h := range s.hosts {
+	for i, a := range s.addrs {
 		if s.epochs[i] > epoch {
 			continue
 		}
 		// The API only lists currently connected peers.
-		if h.DeathDay >= 0 && day >= int(h.DeathDay) {
+		if s.death[i] >= 0 && day >= int(s.death[i]) {
 			continue
 		}
-		out = append(out, h.Addr)
+		out = append(out, a)
 	}
 	return out
 }
 
-// atlasSource returns RIPE Atlas probe addresses and ipmap data.
+// atlasSource returns RIPE Atlas probe addresses and ipmap data. Like
+// bitnodesSource it retains only the address column.
 type atlasSource struct {
-	hosts  []netsim.Host
-	epochs []int // firstEpoch per host, precomputed at construction
+	addrs  []ip6.Addr
+	epochs []int16 // firstEpoch per address, precomputed at construction
 	perDay int
 }
 
@@ -199,9 +211,14 @@ func NewAtlas(world *netsim.Internet) Source {
 			hosts = append(hosts, r)
 		}
 	}
-	s := &atlasSource{hosts: hosts, perDay: cfg.EpochDays}
+	s := &atlasSource{
+		addrs:  make([]ip6.Addr, 0, len(hosts)),
+		epochs: make([]int16, 0, len(hosts)),
+		perDay: cfg.EpochDays,
+	}
 	for _, h := range hosts {
-		s.epochs = append(s.epochs, addrEpoch(h.Addr, RA, cfg.Epochs))
+		s.addrs = append(s.addrs, h.Addr)
+		s.epochs = append(s.epochs, int16(addrEpoch(h.Addr, RA, cfg.Epochs)))
 	}
 	return s
 }
@@ -209,11 +226,11 @@ func NewAtlas(world *netsim.Internet) Source {
 func (s *atlasSource) Name() string { return RA }
 
 func (s *atlasSource) Collect(day int, _ *ip6.ShardSet) []ip6.Addr {
-	epoch := day / s.perDay
+	epoch := int16(day / s.perDay)
 	var out []ip6.Addr
-	for i, h := range s.hosts {
+	for i, a := range s.addrs {
 		if s.epochs[i] <= epoch {
-			out = append(out, h.Addr)
+			out = append(out, a)
 		}
 	}
 	return out
